@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints the paper's rows/series. Durations are tuned for
+// laptop-scale runs; set PGSSI_BENCH_SECONDS to change the per-point
+// measurement window (default 1.0s; the paper's absolute numbers came from
+// dedicated hardware and are not the target — the relative shape is).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "db/transaction_handle.h"
+#include "workload/driver.h"
+
+namespace pgssi::bench {
+
+inline double PointSeconds(double def = 1.0) {
+  const char* s = std::getenv("PGSSI_BENCH_SECONDS");
+  return s ? std::atof(s) : def;
+}
+
+/// The four series of Figures 4 and 5.
+enum class Mode { kSI, kSSI, kSsiNoReadOnlyOpt, kS2PL };
+
+inline const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kSI:
+      return "SI";
+    case Mode::kSSI:
+      return "SSI";
+    case Mode::kSsiNoReadOnlyOpt:
+      return "SSI (no r/o opt.)";
+    case Mode::kS2PL:
+      return "S2PL";
+  }
+  return "?";
+}
+
+/// Database options implementing the series: SI = REPEATABLE READ snapshot
+/// isolation; SSI = serializable via SSI; S2PL = serializable via locking.
+inline DatabaseOptions OptionsFor(Mode m, uint64_t io_delay_us = 0) {
+  DatabaseOptions opts;
+  opts.engine.simulated_io_delay_us = io_delay_us;
+  if (m == Mode::kSsiNoReadOnlyOpt) opts.engine.enable_read_only_opt = false;
+  if (m == Mode::kS2PL) opts.serializable_impl = SerializableImpl::kS2PL;
+  return opts;
+}
+
+inline IsolationLevel IsolationFor(Mode m) {
+  return m == Mode::kSI ? IsolationLevel::kRepeatableRead
+                        : IsolationLevel::kSerializable;
+}
+
+}  // namespace pgssi::bench

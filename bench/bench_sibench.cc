@@ -1,0 +1,56 @@
+// Figure 4 reproduction: SIBENCH transaction throughput for SSI,
+// SSI-without-read-only-optimizations, and S2PL as a fraction of SI
+// throughput, versus table size.
+//
+// Paper shape: S2PL well below SI (update and query transactions cannot
+// run concurrently), widening with table size; SSI close to SI (within
+// the 10-20% read-dependency-tracking overhead), with the read-only
+// optimizations recovering part of that gap at larger table sizes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/sibench.h"
+
+using namespace pgssi;
+using namespace pgssi::bench;
+using namespace pgssi::workload;
+
+int main() {
+  const double secs = PointSeconds(1.0);
+  const int threads = 4;
+  const std::vector<uint64_t> sizes = {10, 100, 1000, 10000};
+  const std::vector<Mode> modes = {Mode::kSI, Mode::kSSI,
+                                   Mode::kSsiNoReadOnlyOpt, Mode::kS2PL};
+
+  std::printf("# Figure 4: SIBENCH throughput normalized to SI\n");
+  std::printf("# threads=%d, %gs per point, 50/50 update/query mix\n",
+              threads, secs);
+  std::printf("%-10s %-20s %12s %12s %14s\n", "rows", "mode", "txn/s",
+              "normalized", "failure-rate");
+
+  for (uint64_t rows : sizes) {
+    double si_throughput = 0;
+    for (Mode m : modes) {
+      auto db = Database::Open(OptionsFor(m));
+      Sibench bench(db.get(), rows);
+      Status st = bench.Load();
+      if (!st.ok()) {
+        std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      IsolationLevel iso = IsolationFor(m);
+      DriverResult r = RunFixedDuration(
+          [&](int, Random& rng) { return bench.RunMixed(rng, iso); },
+          threads, secs);
+      if (m == Mode::kSI) si_throughput = r.Throughput();
+      std::printf("%-10llu %-20s %12.0f %11.2fx %13.3f%%\n",
+                  static_cast<unsigned long long>(rows), ModeName(m),
+                  r.Throughput(),
+                  si_throughput > 0 ? r.Throughput() / si_throughput : 1.0,
+                  r.FailureRate() * 100);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
