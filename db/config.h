@@ -1,0 +1,93 @@
+// Engine configuration knobs, isolation levels, and SSI statistics.
+//
+// EngineConfig mirrors the PostgreSQL GUCs the paper discusses:
+// max_locks_per_page / max_pages_per_relation drive multi-granularity
+// SIREAD promotion (Section 5.1), enable_read_only_opt gates the
+// Section 4 read-only optimizations, enable_commit_ordering_opt gates the
+// Section 3.3.1 commit-ordering refinement of the dangerous-structure
+// test, and enable_safe_retry selects the Section 5.4 victim policy.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace pgssi {
+
+enum class IsolationLevel {
+  kRepeatableRead,  // plain snapshot isolation
+  kSerializable,    // SSI (or S2PL, per DatabaseOptions::serializable_impl)
+};
+
+enum class SerializableImpl {
+  kSSI,   // serializable snapshot isolation (the paper's contribution)
+  kS2PL,  // strict two-phase locking baseline, as in the figure benches
+};
+
+enum class IndexGapLocking {
+  kPage,     // lock B+-tree leaf pages read by scans (shipping, Section 5.2.1)
+  kNextKey,  // next-key tuple granularity (stated future work)
+};
+
+struct EngineConfig {
+  // SIREAD lock promotion thresholds (tuple -> page -> relation).
+  uint32_t max_locks_per_page = 16;
+  uint32_t max_pages_per_relation = 64;
+
+  // Section 4: read-only snapshot ordering / safe snapshot optimizations.
+  bool enable_read_only_opt = true;
+
+  // Section 3.3.1: only abort a pivot whose outgoing edge leads to a
+  // *committed* transaction; off = abort on any in+out flag pair.
+  bool enable_commit_ordering_opt = true;
+
+  // Section 5.4: prefer victims whose retry cannot immediately fail again
+  // (wait until the conflicting transaction has committed). Off aborts a
+  // pivot eagerly as soon as the structure forms.
+  bool enable_safe_retry = true;
+
+  // Section 7.3: a write by the same transaction supersedes its own SIREAD
+  // lock on that tuple (the write set is tracked anyway).
+  bool enable_write_supersedes_siread = true;
+
+  // Index-gap (phantom) lock granularity for scans.
+  IndexGapLocking index_gap_locking = IndexGapLocking::kPage;
+
+  // Per-heap-access stall, used by the disk-bound bench configurations.
+  uint64_t simulated_io_delay_us = 0;
+
+  // B+-tree leaf/inner fanout.
+  uint32_t btree_fanout = 64;
+
+  // Row-lock wait ceiling (fallback; the wait-for graph detects real
+  // deadlocks much sooner).
+  uint64_t lock_wait_timeout_us = 2'000'000;
+  // How often a blocked locker re-runs deadlock detection.
+  uint64_t deadlock_check_interval_us = 2'000;
+};
+
+struct DatabaseOptions {
+  EngineConfig engine;
+  SerializableImpl serializable_impl = SerializableImpl::kSSI;
+};
+
+struct TxnOptions {
+  IsolationLevel isolation = IsolationLevel::kRepeatableRead;
+  bool read_only = false;
+  // DEFERRABLE read-only serializable transaction: block at Begin until a
+  // safe snapshot (Section 4 / Section 8.4) is available, then run with no
+  // SSI tracking at all.
+  bool deferrable = false;
+};
+
+struct SsiStats {
+  uint64_t ssi_aborts = 0;            // dangerous-structure aborts
+  uint64_t ww_aborts = 0;             // first-updater-wins conflicts
+  uint64_t s2pl_deadlocks = 0;        // deadlock victims (S2PL mode)
+  uint64_t page_promotions = 0;       // tuple -> page SIREAD promotions
+  uint64_t relation_promotions = 0;   // page -> relation SIREAD promotions
+  uint64_t safe_snapshots = 0;        // read-only txns granted safe snapshots
+  uint64_t deferrable_retries = 0;    // unsafe snapshots discarded at Begin
+};
+
+}  // namespace pgssi

@@ -1,0 +1,626 @@
+#include "db/transaction_handle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "util/clock.h"
+
+namespace pgssi {
+
+namespace {
+constexpr uint64_t kInfSeq = std::numeric_limits<uint64_t>::max();
+constexpr uint32_t kNoSlot = std::numeric_limits<uint32_t>::max();
+// Coarse table-gap lock key used by the S2PL phantom stub: scans take it
+// shared, inserts/deletes exclusive. User keys never collide with it
+// because it starts with a 0x01 control byte.
+const std::string kGapLockKey = std::string("\x01", 1) + "gap";
+// Keep hot version chains short: prune once they exceed this.
+constexpr size_t kPruneChainLength = 8;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Database::Database(const DatabaseOptions& opts)
+    : opts_(opts), siread_(opts.engine) {}
+
+Database::~Database() = default;
+
+std::unique_ptr<Database> Database::Open(const DatabaseOptions& opts) {
+  return std::unique_ptr<Database>(new Database(opts));
+}
+
+Status Database::CreateTable(const std::string& name, TableId* id) {
+  std::unique_lock<std::shared_mutex> l(tables_mu_);
+  auto it = table_names_.find(name);
+  if (it != table_names_.end()) {
+    if (id) *id = it->second;
+    return Status::AlreadyExists("table " + name);
+  }
+  TableId tid = static_cast<TableId>(tables_.size() + 1);
+  auto t = std::make_unique<Table>(tid, name, opts_.engine.btree_fanout);
+  // Section 5.2.2: leaf splits transfer SIREAD predicate locks so moved
+  // granules stay covered.
+  t->index.SetSplitListener(
+      [this, tid](PageId oldp, PageId newp, const std::vector<uint32_t>& moved) {
+        siread_.OnPageSplit(tid, oldp, newp, moved);
+      });
+  tables_.push_back(std::move(t));
+  table_names_[name] = tid;
+  if (id) *id = tid;
+  return Status::OK();
+}
+
+TableId Database::GetTableId(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> l(tables_mu_);
+  auto it = table_names_.find(name);
+  return it == table_names_.end() ? kInvalidTable : it->second;
+}
+
+Database::Table* Database::GetTable(TableId id) const {
+  std::shared_lock<std::shared_mutex> l(tables_mu_);
+  if (id == kInvalidTable || id > tables_.size()) return nullptr;
+  return tables_[id - 1].get();
+}
+
+std::unique_ptr<Transaction> Database::Begin(const TxnOptions& opts) {
+  return std::unique_ptr<Transaction>(new Transaction(this, opts));
+}
+
+void Database::RunSireadCleanup() {
+  // Section 5.3 cleanup threshold. The bound must be computed carefully:
+  // read LastCommittedSeq FIRST, then OldestActiveSnapshot, and clamp the
+  // threshold to their minimum. A bare OldestActiveSnapshot is racy — a
+  // thread can compute it (say, infinity, with nothing active), stall,
+  // and apply it much later, freeing SIREAD state of transactions that
+  // committed in the meantime while a concurrent reader is live. Any
+  // transaction with commit_seq <= the pre-read bound committed before
+  // the bound was read, so every transaction that could pin it was
+  // already registered when OldestActiveSnapshot was computed.
+  uint64_t bound = txn_mgr_.LastCommittedSeq();
+  uint64_t oldest = txn_mgr_.OldestActiveSnapshot();
+  siread_.Cleanup(std::min(bound, oldest));
+}
+
+SsiStats Database::GetSsiStats() const {
+  SsiStats s;
+  s.ssi_aborts = siread_.ssi_aborts();
+  s.ww_aborts = ww_aborts_.load(std::memory_order_relaxed);
+  s.s2pl_deadlocks = s2pl_deadlocks_.load(std::memory_order_relaxed);
+  s.page_promotions = siread_.page_promotions();
+  s.relation_promotions = siread_.relation_promotions();
+  s.safe_snapshots = safe_snapshots_.load(std::memory_order_relaxed);
+  s.deferrable_retries = deferrable_retries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction lifecycle
+// ---------------------------------------------------------------------------
+
+Transaction::Transaction(Database* db, const TxnOptions& opts)
+    : db_(db), opts_(opts) {
+  const bool serializable = opts.isolation == IsolationLevel::kSerializable;
+  use_s2pl_ = serializable &&
+              db_->opts_.serializable_impl == SerializableImpl::kS2PL;
+  use_ssi_ = serializable && !use_s2pl_;
+
+  if (use_ssi_ && opts.read_only && opts.deferrable) {
+    // DEFERRABLE: loop until a snapshot is retroactively proven safe
+    // (Section 4 / Section 8.4). Take a snapshot, wait out every
+    // read-write serializable transaction concurrent with it, and check
+    // none of them committed with a dangerous out-edge.
+    for (;;) {
+      auto r = db_->txn_mgr_.Begin(/*serializable_rw=*/false);
+      auto concurrent = db_->txn_mgr_.ActiveSerializableRW();
+      db_->txn_mgr_.WaitForFinish(concurrent);
+      bool unsafe = false;
+      for (XactId x : concurrent) {
+        if (db_->siread_.CommittedWithDangerousOut(x, r.snapshot_seq)) {
+          unsafe = true;
+          break;
+        }
+      }
+      if (unsafe) {
+        db_->txn_mgr_.Abort(r.xid);
+        db_->deferrable_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      xid_ = r.xid;
+      snapshot_seq_ = r.snapshot_seq;
+      sxact_ = db_->siread_.Register(xid_, snapshot_seq_, /*read_only=*/true);
+      sxact_->safe_snapshot = true;
+      db_->safe_snapshots_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  auto r = db_->txn_mgr_.Begin(/*serializable_rw=*/use_ssi_ && !opts.read_only);
+  xid_ = r.xid;
+  snapshot_seq_ = use_s2pl_ ? kInfSeq : r.snapshot_seq;
+  if (use_ssi_) {
+    sxact_ = db_->siread_.Register(xid_, r.snapshot_seq, opts.read_only);
+    if (opts.read_only && db_->opts_.engine.enable_read_only_opt &&
+        !db_->txn_mgr_.AnyActiveSerializableRW()) {
+      // Opportunistic safe snapshot: with no concurrent read-write
+      // serializable transaction, Theorem 4 makes this snapshot safe
+      // immediately, so the reader can skip SIREAD tracking entirely.
+      sxact_->safe_snapshot = true;
+      db_->safe_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Transaction::~Transaction() {
+  if (!finished_) AbortInternal();
+}
+
+Status Transaction::CheckActive() {
+  if (finished_) return Status::Internal("transaction already finished");
+  if (sxact_ && db_->siread_.Doomed(sxact_)) {
+    AbortInternal();
+    return Status::SerializationFailure(
+        "canceled due to rw-antidependency conflict");
+  }
+  return Status::OK();
+}
+
+void Transaction::AbortInternal() {
+  // Roll back uncommitted versions.
+  for (const WriteRec& w : writes_) {
+    Database::Table* tbl = db_->GetTable(w.table);
+    if (!tbl) continue;
+    std::unique_lock<std::shared_mutex> l(tbl->mu);
+    auto& vs = tbl->tuples[w.tid].versions;
+    vs.erase(std::remove_if(vs.begin(), vs.end(),
+                            [this](const Database::Version& v) {
+                              return v.xid == xid_ && v.commit_seq == 0;
+                            }),
+             vs.end());
+  }
+  writes_.clear();
+  if (sxact_) {
+    db_->siread_.Abort(sxact_);  // frees the xact
+    sxact_ = nullptr;
+  }
+  db_->row_locks_.ReleaseAll(xid_);
+  db_->txn_mgr_.Abort(xid_);
+  if (use_ssi_) {
+    db_->RunSireadCleanup();
+  }
+  finished_ = true;
+}
+
+Status Transaction::Abort() {
+  if (finished_) return Status::OK();
+  AbortInternal();
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (finished_) return Status::Internal("transaction already finished");
+  if (sxact_ && db_->siread_.Doomed(sxact_)) {
+    AbortInternal();
+    return Status::SerializationFailure(
+        "canceled due to rw-antidependency conflict");
+  }
+  if (sxact_) {
+    // Commit-time dangerous-structure test (Section 3.3).
+    Status st = db_->siread_.PreCommit(sxact_);
+    if (!st.ok()) {
+      AbortInternal();
+      return st;
+    }
+  }
+
+  if (writes_.empty()) {
+    // Read-only commit: no new commit sequence number needed. The xact
+    // stays registered in the lock manager (its SIREAD locks may still
+    // matter) until cleanup decides otherwise.
+    if (sxact_) {
+      // Never 0: commit_seq 0 means commit-pending to the lock manager.
+      db_->siread_.MarkCommitted(
+          sxact_, std::max<uint64_t>(1, db_->txn_mgr_.LastCommittedSeq()));
+      sxact_ = nullptr;
+    }
+    db_->txn_mgr_.Abort(xid_);  // deregister only; nothing to stamp
+  } else {
+    uint64_t seq = db_->txn_mgr_.Commit(xid_, [this](uint64_t s) {
+      for (const WriteRec& w : writes_) {
+        Database::Table* tbl = db_->GetTable(w.table);
+        std::unique_lock<std::shared_mutex> l(tbl->mu);
+        for (auto& v : tbl->tuples[w.tid].versions) {
+          if (v.xid == xid_ && v.commit_seq == 0) v.commit_seq = s;
+        }
+      }
+    });
+    if (sxact_) {
+      db_->siread_.MarkCommitted(sxact_, seq);
+      sxact_ = nullptr;
+    }
+  }
+  db_->row_locks_.ReleaseAll(xid_);
+  if (use_ssi_) {
+    // Section 5.3: committed xacts (and their SIREAD locks) are freed once
+    // every transaction concurrent with them has finished.
+    db_->RunSireadCleanup();
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Visibility + SSI read tracking
+// ---------------------------------------------------------------------------
+
+int Transaction::VisibleVersion(const Database::TupleChain& chain) const {
+  const auto& vs = chain.versions;
+  for (int i = static_cast<int>(vs.size()) - 1; i >= 0; --i) {
+    const Database::Version& v = vs[static_cast<size_t>(i)];
+    if (v.xid == xid_) return i;  // own write
+    if (v.commit_seq != 0 && v.commit_seq <= snapshot_seq_) return i;
+  }
+  return -1;
+}
+
+void Transaction::TrackRead(Database::Table* tbl,
+                            const Database::TupleChain& chain,
+                            int visible_idx) {
+  if (!sxact_ || sxact_->safe_snapshot) return;
+  db_->siread_.AcquireTuple(sxact_, tbl->id, chain.page, chain.slot);
+  // Any version newer than the one we read is an rw-antidependency:
+  // we (reader) -rw-> its writer.
+  const auto& vs = chain.versions;
+  for (size_t j = visible_idx < 0 ? 0 : static_cast<size_t>(visible_idx) + 1;
+       j < vs.size(); ++j) {
+    if (vs[j].xid != xid_) {
+      db_->siread_.FlagRwConflictWithWriter(sxact_, vs[j].xid);
+    }
+  }
+}
+
+void Transaction::AcquireGapLock(Database::Table* tbl,
+                                 const std::string& key) {
+  if (!sxact_ || sxact_->safe_snapshot) return;
+  if (db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey) {
+    std::string nk;
+    TupleId ntid;
+    PageId npage;
+    uint32_t nslot;
+    if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot)) {
+      db_->siread_.AcquireTuple(sxact_, tbl->id, npage, nslot);
+      return;
+    }
+  }
+  db_->siread_.AcquirePage(sxact_, tbl->id, tbl->index.PageFor(key));
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status Transaction::Get(TableId table, const std::string& key,
+                        std::string* value) {
+  Status st = CheckActive();
+  if (!st.ok()) return st;
+  Database::Table* tbl = db_->GetTable(table);
+  if (!tbl) return Status::InvalidArgument("no such table");
+  SimulatedIoDelay(db_->opts_.engine.simulated_io_delay_us);
+
+  if (use_s2pl_) {
+    st = db_->row_locks_.Acquire(xid_, table, key, LockTable::Mode::kShared,
+                                 db_->opts_.engine.lock_wait_timeout_us,
+                                 db_->opts_.engine.deadlock_check_interval_us);
+    if (!st.ok()) {
+      db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      AbortInternal();
+      return st;
+    }
+  }
+
+  std::shared_lock<std::shared_mutex> l(tbl->mu);
+  TupleId tid;
+  PageId page;
+  uint32_t slot;
+  if (!tbl->index.Lookup(key, &tid, &page, &slot)) {
+    // Phantom protection for a miss: lock the gap the key would occupy.
+    AcquireGapLock(tbl, key);
+    return Status::NotFound("key " + key);
+  }
+  const Database::TupleChain& chain = tbl->tuples[tid];
+  int vi = VisibleVersion(chain);
+  TrackRead(tbl, chain, vi);
+  if (vi < 0 || chain.versions[static_cast<size_t>(vi)].deleted) {
+    return Status::NotFound("key " + key);
+  }
+  if (value) *value = chain.versions[static_cast<size_t>(vi)].value;
+  return Status::OK();
+}
+
+Status Transaction::ScanInternal(
+    TableId table, const std::string& lo, const std::string& hi,
+    const std::function<void(const std::string&, const std::string&)>& fn) {
+  Status st = CheckActive();
+  if (!st.ok()) return st;
+  Database::Table* tbl = db_->GetTable(table);
+  if (!tbl) return Status::InvalidArgument("no such table");
+  SimulatedIoDelay(db_->opts_.engine.simulated_io_delay_us);
+
+  if (use_s2pl_) {
+    // Phantom stub: the table-gap lock blocks concurrent inserts/deletes.
+    st = db_->row_locks_.Acquire(xid_, table, kGapLockKey,
+                                 LockTable::Mode::kShared,
+                                 db_->opts_.engine.lock_wait_timeout_us,
+                                 db_->opts_.engine.deadlock_check_interval_us);
+    if (!st.ok()) {
+      db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      AbortInternal();
+      return st;
+    }
+    // Two-phase: collect the (now stable) key set, lock each key shared,
+    // then re-read values under the locks.
+    std::vector<std::string> keys;
+    {
+      std::shared_lock<std::shared_mutex> l(tbl->mu);
+      tbl->index.Scan(lo, hi,
+                      [&](const std::string& k, TupleId, PageId, uint32_t) {
+                        keys.push_back(k);
+                        return true;
+                      });
+    }
+    for (const std::string& k : keys) {
+      st = db_->row_locks_.Acquire(xid_, table, k, LockTable::Mode::kShared,
+                                   db_->opts_.engine.lock_wait_timeout_us,
+                                   db_->opts_.engine.deadlock_check_interval_us);
+      if (!st.ok()) {
+        db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        AbortInternal();
+        return st;
+      }
+    }
+    std::shared_lock<std::shared_mutex> l(tbl->mu);
+    for (const std::string& k : keys) {
+      TupleId tid;
+      PageId page;
+      uint32_t slot;
+      if (!tbl->index.Lookup(k, &tid, &page, &slot)) continue;
+      const Database::TupleChain& chain = tbl->tuples[tid];
+      int vi = VisibleVersion(chain);
+      if (vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted) {
+        fn(k, chain.versions[static_cast<size_t>(vi)].value);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::shared_lock<std::shared_mutex> l(tbl->mu);
+  const bool track = sxact_ && !sxact_->safe_snapshot;
+  const bool next_key_mode =
+      db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
+  std::set<PageId> pages;
+  tbl->index.Scan(lo, hi,
+                  [&](const std::string& k, TupleId tid, PageId page,
+                      uint32_t slot) {
+                    const Database::TupleChain& chain = tbl->tuples[tid];
+                    int vi = VisibleVersion(chain);
+                    if (track) {
+                      if (next_key_mode) {
+                        db_->siread_.AcquireTuple(sxact_, table, page, slot);
+                      } else {
+                        pages.insert(page);
+                      }
+                      TrackRead(tbl, chain, vi);
+                    }
+                    if (vi >= 0 &&
+                        !chain.versions[static_cast<size_t>(vi)].deleted) {
+                      fn(k, chain.versions[static_cast<size_t>(vi)].value);
+                    }
+                    return true;
+                  });
+  if (track) {
+    if (next_key_mode) {
+      // Lock the key that bounds the range on the right (phantoms there).
+      AcquireGapLock(tbl, hi);
+    } else {
+      // Page-granularity gap locks: every leaf the scan touched, plus the
+      // boundary leaves (covers empty ranges too).
+      pages.insert(tbl->index.PageFor(lo));
+      pages.insert(tbl->index.PageFor(hi));
+      for (PageId p : pages) db_->siread_.AcquirePage(sxact_, table, p);
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::Scan(TableId table, const std::string& lo,
+                         const std::string& hi,
+                         std::vector<std::pair<std::string, std::string>>* out) {
+  if (out) out->clear();
+  return ScanInternal(table, lo, hi,
+                      [out](const std::string& k, const std::string& v) {
+                        if (out) out->emplace_back(k, v);
+                      });
+}
+
+Status Transaction::Count(TableId table, const std::string& lo,
+                          const std::string& hi, uint64_t* n) {
+  uint64_t c = 0;
+  Status st = ScanInternal(table, lo, hi,
+                           [&c](const std::string&, const std::string&) { c++; });
+  if (n) *n = c;
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Status Transaction::WriteInternal(TableId table, const std::string& key,
+                                  const std::string& value, bool deleted,
+                                  bool upsert) {
+  Status st = CheckActive();
+  if (!st.ok()) return st;
+  if (opts_.read_only) {
+    return Status::InvalidArgument("write in read-only transaction");
+  }
+  Database::Table* tbl = db_->GetTable(table);
+  if (!tbl) return Status::InvalidArgument("no such table");
+  SimulatedIoDelay(db_->opts_.engine.simulated_io_delay_us);
+
+  // Row lock first (never while holding the table latch). For SI/SSI this
+  // is the blocking half of first-updater-wins; for S2PL it is the
+  // exclusive lock held to commit.
+  st = db_->row_locks_.Acquire(xid_, table, key, LockTable::Mode::kExclusive,
+                               db_->opts_.engine.lock_wait_timeout_us,
+                               db_->opts_.engine.deadlock_check_interval_us);
+  if (!st.ok()) {
+    if (use_s2pl_) db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+    AbortInternal();
+    return st;
+  }
+  if (use_s2pl_) {
+    // Inserting or deleting changes scan results: take the table-gap lock
+    // exclusively (conflicts with S2PL scans). Existence is stable here
+    // because we already hold the key's exclusive lock.
+    bool exists;
+    {
+      std::shared_lock<std::shared_mutex> l(tbl->mu);
+      exists = tbl->index.Lookup(key, nullptr, nullptr, nullptr);
+    }
+    if (!exists || deleted) {
+      st = db_->row_locks_.Acquire(xid_, table, kGapLockKey,
+                                   LockTable::Mode::kExclusive,
+                                   db_->opts_.engine.lock_wait_timeout_us,
+                                   db_->opts_.engine.deadlock_check_interval_us);
+      if (!st.ok()) {
+        db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        AbortInternal();
+        return st;
+      }
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> l(tbl->mu);
+  TupleId tid;
+  PageId page;
+  uint32_t slot;
+  if (tbl->index.Lookup(key, &tid, &page, &slot)) {
+    Database::TupleChain& chain = tbl->tuples[tid];
+    if (!use_s2pl_) {
+      // First-updater-wins: a version committed after our snapshot means a
+      // concurrent writer beat us.
+      for (const auto& v : chain.versions) {
+        if (v.commit_seq > snapshot_seq_ && v.commit_seq != 0) {
+          l.unlock();
+          db_->ww_aborts_.fetch_add(1, std::memory_order_relaxed);
+          AbortInternal();
+          return Status::SerializationFailure(
+              "could not serialize access due to concurrent update");
+        }
+      }
+    }
+    int vi = VisibleVersion(chain);
+    bool visible_live =
+        vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted;
+    if (!upsert && !deleted && visible_live) {
+      return Status::AlreadyExists("key " + key);  // statement-level failure
+    }
+    if (deleted && !visible_live) {
+      return Status::NotFound("key " + key);
+    }
+    if (sxact_) {
+      auto probe = db_->siread_.ProbeHeapWrite(table, chain.page, chain.slot);
+      for (XactId h : probe.holder_xids) {
+        if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+      }
+      if (db_->opts_.engine.enable_write_supersedes_siread) {
+        db_->siread_.ReleaseOwnTuple(sxact_, table, chain.page, chain.slot);
+      }
+      if (db_->siread_.Doomed(sxact_)) {
+        l.unlock();
+        AbortInternal();
+        return Status::SerializationFailure(
+            "canceled due to rw-antidependency conflict");
+      }
+    }
+    if (!chain.versions.empty() && chain.versions.back().xid == xid_ &&
+        chain.versions.back().commit_seq == 0) {
+      chain.versions.back().value = value;
+      chain.versions.back().deleted = deleted;
+    } else {
+      chain.versions.push_back(Database::Version{value, xid_, 0, deleted});
+      writes_.push_back(WriteRec{table, tid});
+    }
+    // Prune stale history nobody can see anymore.
+    if (chain.versions.size() > kPruneChainLength) {
+      uint64_t oldest = db_->txn_mgr_.OldestActiveSnapshot();
+      auto& vs = chain.versions;
+      while (vs.size() > 1 && vs[1].commit_seq != 0 &&
+             vs[1].commit_seq <= oldest) {
+        vs.erase(vs.begin());
+      }
+    }
+    return Status::OK();
+  }
+
+  // New key.
+  if (deleted) return Status::NotFound("key " + key);
+  if (sxact_) {
+    // Gap probe: does any reader hold a predicate lock covering the spot
+    // this key lands in?
+    if (db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey) {
+      std::string nk;
+      TupleId ntid;
+      PageId npage;
+      uint32_t nslot;
+      if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot)) {
+        auto probe = db_->siread_.ProbeHeapWrite(table, npage, nslot);
+        for (XactId h : probe.holder_xids) {
+          if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+        }
+      }
+    }
+    auto probe =
+        db_->siread_.ProbeHeapWrite(table, tbl->index.PageFor(key), kNoSlot);
+    for (XactId h : probe.holder_xids) {
+      if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+    }
+    if (db_->siread_.Doomed(sxact_)) {
+      l.unlock();
+      AbortInternal();
+      return Status::SerializationFailure(
+          "canceled due to rw-antidependency conflict");
+    }
+  }
+  TupleId tid2 = tbl->tuples.size();
+  tbl->tuples.push_back(Database::TupleChain{key, 0, 0, {}});
+  PageId npage;
+  uint32_t nslot;
+  tbl->index.Insert(key, tid2, &npage, &nslot);
+  tbl->tuples[tid2].page = npage;
+  tbl->tuples[tid2].slot = nslot;
+  tbl->tuples[tid2].versions.push_back(
+      Database::Version{value, xid_, 0, false});
+  writes_.push_back(WriteRec{table, tid2});
+  return Status::OK();
+}
+
+Status Transaction::Put(TableId table, const std::string& key,
+                        const std::string& value) {
+  return WriteInternal(table, key, value, /*deleted=*/false, /*upsert=*/true);
+}
+
+Status Transaction::Insert(TableId table, const std::string& key,
+                           const std::string& value) {
+  return WriteInternal(table, key, value, /*deleted=*/false, /*upsert=*/false);
+}
+
+Status Transaction::Delete(TableId table, const std::string& key) {
+  return WriteInternal(table, key, "", /*deleted=*/true, /*upsert=*/true);
+}
+
+}  // namespace pgssi

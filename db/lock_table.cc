@@ -1,0 +1,121 @@
+#include "db/lock_table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "util/clock.h"
+
+namespace pgssi {
+
+bool LockTable::CanGrant(const Entry& e, XactId xid, Mode mode) const {
+  if (mode == Mode::kShared) {
+    return e.exclusive == 0 || e.exclusive == xid;
+  }
+  bool others_share = !e.sharers.empty() &&
+                      !(e.sharers.size() == 1 && e.sharers.count(xid));
+  return (e.exclusive == 0 || e.exclusive == xid) && !others_share;
+}
+
+void LockTable::Blockers(const Entry& e, XactId xid,
+                         std::vector<XactId>* out) const {
+  out->clear();
+  if (e.exclusive != 0 && e.exclusive != xid) out->push_back(e.exclusive);
+  for (XactId s : e.sharers) {
+    if (s != xid) out->push_back(s);
+  }
+}
+
+bool LockTable::IsDeadlockVictim(XactId self) const {
+  // DFS from self over waits_for_; if we come back to self, the cycle is a
+  // deadlock. Victim = max xid on the cycle (deterministic, so exactly one
+  // member of a 2-cycle aborts and the other proceeds).
+  std::vector<XactId> stack{self};
+  std::vector<XactId> path;
+  std::unordered_set<XactId> visited;
+  // Iterative DFS tracking the path to recover cycle membership.
+  std::function<bool(XactId)> dfs = [&](XactId cur) -> bool {
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) return false;
+    for (XactId b : it->second) {
+      if (b == self) return true;
+      if (visited.insert(b).second) {
+        path.push_back(b);
+        if (dfs(b)) return true;
+        path.pop_back();
+      }
+    }
+    return false;
+  };
+  visited.insert(self);
+  if (!dfs(self)) return false;
+  XactId victim = self;
+  for (XactId x : path) victim = std::max(victim, x);
+  return victim == self;
+}
+
+Status LockTable::Acquire(XactId xid, TableId table, const std::string& key,
+                          Mode mode, uint64_t timeout_us,
+                          uint64_t check_interval_us) {
+  std::unique_lock<std::mutex> l(mu_);
+  Entry& e = locks_[{table, key}];
+  const uint64_t deadline = NowMicros() + timeout_us;
+  while (!CanGrant(e, xid, mode)) {
+    e.waiters++;
+    Blockers(e, xid, &waits_for_[xid]);
+    if (IsDeadlockVictim(xid)) {
+      waits_for_.erase(xid);
+      e.waiters--;
+      return Status::SerializationFailure("deadlock detected");
+    }
+    cv_.wait_for(l, std::chrono::microseconds(
+                        check_interval_us ? check_interval_us : 1000));
+    e.waiters--;
+    if (NowMicros() > deadline && !CanGrant(e, xid, mode)) {
+      waits_for_.erase(xid);
+      return Status::SerializationFailure("lock wait timeout");
+    }
+  }
+  waits_for_.erase(xid);
+  if (mode == Mode::kShared) {
+    if (e.exclusive != xid && e.sharers.insert(xid).second) {
+      held_[xid].push_back({table, key});
+    }
+  } else {
+    if (e.exclusive != xid) {
+      e.sharers.erase(xid);  // shared -> exclusive upgrade in place
+      e.exclusive = xid;
+      held_[xid].push_back({table, key});
+    }
+  }
+  return Status::OK();
+}
+
+void LockTable::ReleaseAll(XactId xid) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = held_.find(xid);
+    if (it != held_.end()) {
+      for (const Key& k : it->second) {
+        auto lit = locks_.find(k);
+        if (lit == locks_.end()) continue;
+        Entry& e = lit->second;
+        if (e.exclusive == xid) e.exclusive = 0;
+        e.sharers.erase(xid);
+        if (e.exclusive == 0 && e.sharers.empty() && e.waiters == 0) {
+          locks_.erase(lit);
+        }
+      }
+      held_.erase(it);
+    }
+    waits_for_.erase(xid);
+  }
+  cv_.notify_all();
+}
+
+size_t LockTable::LockedKeyCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return locks_.size();
+}
+
+}  // namespace pgssi

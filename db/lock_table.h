@@ -1,0 +1,66 @@
+// Blocking row-lock table.
+//
+// Used two ways:
+//  - SI/SSI writers take per-key exclusive locks, giving PostgreSQL-style
+//    first-updater-wins *blocking* (the second writer waits; if the first
+//    commits, the waiter then fails its version check with a
+//    serialization failure rather than failing instantly).
+//  - In S2PL mode, reads additionally take shared locks and scans take a
+//    coarse table-gap lock, all held to commit — the strict two-phase
+//    locking baseline of the paper's figures.
+//
+// Deadlocks are detected by a DFS over the wait-for graph, run by each
+// blocked locker on its wakeup ticks; the victim is the youngest (highest
+// xid) transaction on the cycle, which returns kSerializationFailure.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace pgssi {
+
+class LockTable {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  /// Blocks until granted, deadlock victimhood, or timeout. Re-entrant;
+  /// shared->exclusive upgrade is supported (sole sharer upgrades in
+  /// place; otherwise waits for the other sharers).
+  Status Acquire(XactId xid, TableId table, const std::string& key, Mode mode,
+                 uint64_t timeout_us, uint64_t check_interval_us);
+
+  void ReleaseAll(XactId xid);
+
+  size_t LockedKeyCount() const;
+
+ private:
+  struct Entry {
+    XactId exclusive = 0;
+    std::unordered_set<XactId> sharers;
+    int waiters = 0;
+  };
+  using Key = std::pair<TableId, std::string>;
+
+  bool CanGrant(const Entry& e, XactId xid, Mode mode) const;
+  // Blockers of `xid` on entry `e` right now.
+  void Blockers(const Entry& e, XactId xid, std::vector<XactId>* out) const;
+  // True if `self` is on a wait-for cycle AND is the cycle's chosen victim.
+  bool IsDeadlockVictim(XactId self) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, Entry> locks_;
+  std::unordered_map<XactId, std::vector<Key>> held_;
+  std::unordered_map<XactId, std::vector<XactId>> waits_for_;
+};
+
+}  // namespace pgssi

@@ -1,0 +1,160 @@
+// Public engine API: Database and Transaction handles.
+//
+// Database::Open builds an MVCC storage engine with:
+//  - REPEATABLE READ = plain snapshot isolation (commit-seq snapshots,
+//    blocking first-updater-wins write conflicts);
+//  - SERIALIZABLE = SSI (SIREAD locks + rw-antidependency tracking with
+//    dangerous-structure aborts) or, when
+//    DatabaseOptions::serializable_impl == SerializableImpl::kS2PL,
+//    strict two-phase locking.
+// Transactions are single-threaded handles; the Database is safe for
+// concurrent use from many threads, each with its own Transaction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/config.h"
+#include "db/lock_table.h"
+#include "index/btree.h"
+#include "ssi/siread_lock_manager.h"
+#include "txn/txn_manager.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace pgssi {
+
+class Transaction;
+
+class Database {
+ public:
+  static std::unique_ptr<Database> Open(const DatabaseOptions& opts = {});
+  ~Database();
+
+  Status CreateTable(const std::string& name, TableId* id);
+  /// kInvalidTable when the name is unknown.
+  TableId GetTableId(const std::string& name) const;
+
+  std::unique_ptr<Transaction> Begin(const TxnOptions& opts = {});
+
+  SsiStats GetSsiStats() const;
+  const DatabaseOptions& options() const { return opts_; }
+
+ private:
+  friend class Transaction;
+
+  struct Version {
+    std::string value;
+    XactId xid;           // writer
+    uint64_t commit_seq;  // 0 while uncommitted
+    bool deleted;
+  };
+  struct TupleChain {
+    std::string key;
+    PageId page;
+    uint32_t slot;
+    std::vector<Version> versions;  // oldest first
+  };
+  struct Table {
+    Table(TableId i, std::string n, uint32_t fanout)
+        : id(i), name(std::move(n)), index(fanout) {}
+    TableId id;
+    std::string name;
+    mutable std::shared_mutex mu;  // guards index + tuples
+    BTree index;                   // key -> TupleId (+ page/slot granule)
+    std::deque<TupleChain> tuples;
+  };
+
+  explicit Database(const DatabaseOptions& opts);
+  Table* GetTable(TableId id) const;
+  void RunSireadCleanup();
+
+  DatabaseOptions opts_;
+  txn::TxnManager txn_mgr_;
+  ssi::SireadLockManager siread_;
+  LockTable row_locks_;
+
+  mutable std::shared_mutex tables_mu_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> table_names_;
+
+  std::atomic<uint64_t> ww_aborts_{0};
+  std::atomic<uint64_t> s2pl_deadlocks_{0};
+  std::atomic<uint64_t> safe_snapshots_{0};
+  std::atomic<uint64_t> deferrable_retries_{0};
+};
+
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Status Get(TableId table, const std::string& key, std::string* value);
+  /// Upsert.
+  Status Put(TableId table, const std::string& key, const std::string& value);
+  /// Fails with kAlreadyExists if a (visible) row exists.
+  Status Insert(TableId table, const std::string& key,
+                const std::string& value);
+  Status Delete(TableId table, const std::string& key);
+  /// Inclusive range scan of visible rows, in key order.
+  Status Scan(TableId table, const std::string& lo, const std::string& hi,
+              std::vector<std::pair<std::string, std::string>>* out);
+  Status Count(TableId table, const std::string& lo, const std::string& hi,
+               uint64_t* n);
+
+  Status Commit();
+  /// Idempotent; a failed statement has already rolled the txn back.
+  Status Abort();
+
+  XactId xid() const { return xid_; }
+  IsolationLevel isolation() const { return opts_.isolation; }
+  bool read_only() const { return opts_.read_only; }
+  bool finished() const { return finished_; }
+
+ private:
+  friend class Database;
+  Transaction(Database* db, const TxnOptions& opts);
+
+  struct WriteRec {
+    TableId table;
+    TupleId tid;
+  };
+
+  Status CheckActive();
+  void AbortInternal();
+  // Shared read/SSI-tracking core for Get/Scan/Count.
+  Status ScanInternal(
+      TableId table, const std::string& lo, const std::string& hi,
+      const std::function<void(const std::string&, const std::string&)>& fn);
+  Status WriteInternal(TableId table, const std::string& key,
+                       const std::string& value, bool deleted, bool upsert);
+  // Picks the version visible to this txn; returns index into the chain or
+  // -1. Also reports whether any *later* (invisible) version exists.
+  int VisibleVersion(const Database::TupleChain& chain) const;
+  void TrackRead(Database::Table* tbl, const Database::TupleChain& chain,
+                 int visible_idx);
+  // SIREAD-lock the gap `key` falls into (next-key tuple or leaf page,
+  // per EngineConfig::index_gap_locking). Caller holds the table latch.
+  void AcquireGapLock(Database::Table* tbl, const std::string& key);
+
+  Database* db_;
+  TxnOptions opts_;
+  XactId xid_ = kInvalidXact;
+  uint64_t snapshot_seq_ = 0;
+  bool use_ssi_ = false;   // SERIALIZABLE via SSI
+  bool use_s2pl_ = false;  // SERIALIZABLE via strict 2PL
+  ssi::SerializableXact* sxact_ = nullptr;
+  bool finished_ = false;
+  std::vector<WriteRec> writes_;
+};
+
+}  // namespace pgssi

@@ -1,0 +1,189 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pgssi {
+
+struct BTree::Node {
+  bool leaf;
+  Inner* parent = nullptr;
+  explicit Node(bool l) : leaf(l) {}
+};
+
+struct BTree::Leaf : Node {
+  Leaf() : Node(true) {}
+  PageId page_id = 0;
+  uint32_t next_slot = 0;
+  std::vector<std::string> keys;  // sorted
+  std::vector<TupleId> tids;
+  std::vector<uint32_t> slots;
+  Leaf* next = nullptr;
+};
+
+struct BTree::Inner : Node {
+  Inner() : Node(false) {}
+  // children.size() == keys.size() + 1; child[i] holds keys < keys[i],
+  // child[i+1] holds keys >= keys[i].
+  std::vector<std::string> keys;
+  std::vector<Node*> children;
+};
+
+BTree::BTree(uint32_t fanout) : fanout_(fanout < 4 ? 4 : fanout) {
+  Leaf* l = new Leaf();
+  l->page_id = next_page_id_++;
+  root_ = l;
+}
+
+BTree::~BTree() { FreeNode(root_); }
+
+void BTree::FreeNode(Node* n) {
+  if (!n->leaf) {
+    Inner* in = static_cast<Inner*>(n);
+    for (Node* c : in->children) FreeNode(c);
+  }
+  if (n->leaf)
+    delete static_cast<Leaf*>(n);
+  else
+    delete static_cast<Inner*>(n);
+}
+
+BTree::Leaf* BTree::FindLeaf(const std::string& key) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    Inner* in = static_cast<Inner*>(n);
+    size_t i = static_cast<size_t>(
+        std::upper_bound(in->keys.begin(), in->keys.end(), key) -
+        in->keys.begin());
+    n = in->children[i];
+  }
+  return static_cast<Leaf*>(n);
+}
+
+bool BTree::Lookup(const std::string& key, TupleId* tid, PageId* page,
+                   uint32_t* slot) const {
+  Leaf* l = FindLeaf(key);
+  auto it = std::lower_bound(l->keys.begin(), l->keys.end(), key);
+  if (it == l->keys.end() || *it != key) return false;
+  size_t i = static_cast<size_t>(it - l->keys.begin());
+  if (tid) *tid = l->tids[i];
+  if (page) *page = l->page_id;
+  if (slot) *slot = l->slots[i];
+  return true;
+}
+
+PageId BTree::PageFor(const std::string& key) const {
+  return FindLeaf(key)->page_id;
+}
+
+bool BTree::Insert(const std::string& key, TupleId tid, PageId* page,
+                   uint32_t* slot) {
+  Leaf* l = FindLeaf(key);
+  auto it = std::lower_bound(l->keys.begin(), l->keys.end(), key);
+  size_t i = static_cast<size_t>(it - l->keys.begin());
+  if (it != l->keys.end() && *it == key) {
+    if (page) *page = l->page_id;
+    if (slot) *slot = l->slots[i];
+    return false;
+  }
+  uint32_t s = l->next_slot++;
+  l->keys.insert(l->keys.begin() + static_cast<long>(i), key);
+  l->tids.insert(l->tids.begin() + static_cast<long>(i), tid);
+  l->slots.insert(l->slots.begin() + static_cast<long>(i), s);
+  size_++;
+  if (page) *page = l->page_id;
+  if (slot) *slot = s;
+
+  if (l->keys.size() > fanout_) {
+    // Split: upper half moves to a fresh page; slot numbers travel with
+    // their entries, and the lock manager is told so predicate locks on
+    // moved granules keep covering them (Section 5.2.2).
+    size_t mid = l->keys.size() / 2;
+    Leaf* r = new Leaf();
+    r->page_id = next_page_id_++;
+    leaf_count_++;
+    r->keys.assign(l->keys.begin() + static_cast<long>(mid), l->keys.end());
+    r->tids.assign(l->tids.begin() + static_cast<long>(mid), l->tids.end());
+    r->slots.assign(l->slots.begin() + static_cast<long>(mid), l->slots.end());
+    l->keys.resize(mid);
+    l->tids.resize(mid);
+    l->slots.resize(mid);
+    r->next_slot = l->next_slot;
+    r->next = l->next;
+    l->next = r;
+    // Was the entry we just inserted one of the movers? Report its new home.
+    if (key >= r->keys.front()) {
+      if (page) *page = r->page_id;
+    }
+    if (split_listener_) split_listener_(l->page_id, r->page_id, r->slots);
+    InsertIntoParent(l, r->keys.front(), r);
+  }
+  return true;
+}
+
+void BTree::InsertIntoParent(Node* left, const std::string& sep, Node* right) {
+  if (left == root_) {
+    Inner* nr = new Inner();
+    nr->keys.push_back(sep);
+    nr->children.push_back(left);
+    nr->children.push_back(right);
+    left->parent = nr;
+    right->parent = nr;
+    root_ = nr;
+    return;
+  }
+  Inner* p = left->parent;
+  auto it = std::upper_bound(p->keys.begin(), p->keys.end(), sep);
+  size_t i = static_cast<size_t>(it - p->keys.begin());
+  p->keys.insert(p->keys.begin() + static_cast<long>(i), sep);
+  p->children.insert(p->children.begin() + static_cast<long>(i) + 1, right);
+  right->parent = p;
+
+  if (p->keys.size() > fanout_) {
+    size_t mid = p->keys.size() / 2;
+    Inner* r = new Inner();
+    std::string up = p->keys[mid];
+    r->keys.assign(p->keys.begin() + static_cast<long>(mid) + 1, p->keys.end());
+    r->children.assign(p->children.begin() + static_cast<long>(mid) + 1,
+                       p->children.end());
+    for (Node* c : r->children) c->parent = r;
+    p->keys.resize(mid);
+    p->children.resize(mid + 1);
+    InsertIntoParent(p, up, r);
+  }
+}
+
+void BTree::Scan(const std::string& lo, const std::string& hi,
+                 const std::function<bool(const std::string&, TupleId, PageId,
+                                          uint32_t)>& fn) const {
+  Leaf* l = FindLeaf(lo);
+  size_t i = static_cast<size_t>(
+      std::lower_bound(l->keys.begin(), l->keys.end(), lo) - l->keys.begin());
+  while (l) {
+    for (; i < l->keys.size(); i++) {
+      if (l->keys[i] > hi) return;
+      if (!fn(l->keys[i], l->tids[i], l->page_id, l->slots[i])) return;
+    }
+    l = l->next;
+    i = 0;
+  }
+}
+
+bool BTree::NextKey(const std::string& key, std::string* next, TupleId* tid,
+                    PageId* page, uint32_t* slot) const {
+  Leaf* l = FindLeaf(key);
+  size_t i = static_cast<size_t>(
+      std::upper_bound(l->keys.begin(), l->keys.end(), key) - l->keys.begin());
+  while (l && i >= l->keys.size()) {
+    l = l->next;
+    i = 0;
+  }
+  if (!l) return false;
+  if (next) *next = l->keys[i];
+  if (tid) *tid = l->tids[i];
+  if (page) *page = l->page_id;
+  if (slot) *slot = l->slots[i];
+  return true;
+}
+
+}  // namespace pgssi

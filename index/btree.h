@@ -1,0 +1,75 @@
+// In-memory key-ordered B+-tree.
+//
+// Leaves carry a stable PageId and per-entry slot numbers: the pair
+// (page, slot) is the granule the SIREAD lock manager locks and probes.
+// When a leaf splits, the tree reports which slots moved to the new page
+// so the lock manager can transfer predicate locks (the Section 5.2.2
+// page-split problem).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pgssi {
+
+class BTree {
+ public:
+  // Called after a leaf split: SIREAD locks on (old_page, slot) for each
+  // moved slot — and page locks on old_page — must also cover new_page.
+  using SplitListener = std::function<void(
+      PageId old_page, PageId new_page, const std::vector<uint32_t>& moved_slots)>;
+
+  explicit BTree(uint32_t fanout = 64);
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  void SetSplitListener(SplitListener fn) { split_listener_ = std::move(fn); }
+
+  /// Inserts key -> tid. Returns false (and fills *page/*slot with the
+  /// existing entry's location) if the key is already present.
+  bool Insert(const std::string& key, TupleId tid, PageId* page,
+              uint32_t* slot = nullptr);
+
+  /// Returns true and fills outputs if the key exists.
+  bool Lookup(const std::string& key, TupleId* tid, PageId* page,
+              uint32_t* slot = nullptr) const;
+
+  /// The leaf page where `key` lives or would be inserted. Used for
+  /// index-gap (phantom) locking of empty ranges and insert probes.
+  PageId PageFor(const std::string& key) const;
+
+  /// In-order scan of [lo, hi] (inclusive). fn returns false to stop early.
+  void Scan(const std::string& lo, const std::string& hi,
+            const std::function<bool(const std::string& key, TupleId tid,
+                                     PageId page, uint32_t slot)>& fn) const;
+
+  /// First entry with key strictly greater than `key` (next-key locking).
+  bool NextKey(const std::string& key, std::string* next, TupleId* tid,
+               PageId* page, uint32_t* slot) const;
+
+  size_t size() const { return size_; }
+  size_t LeafCount() const { return leaf_count_; }
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Inner;
+
+  Leaf* FindLeaf(const std::string& key) const;
+  void InsertIntoParent(Node* left, const std::string& sep, Node* right);
+  void FreeNode(Node* n);
+
+  Node* root_;
+  uint32_t fanout_;
+  PageId next_page_id_ = 1;
+  size_t size_ = 0;
+  size_t leaf_count_ = 1;
+  SplitListener split_listener_;
+};
+
+}  // namespace pgssi

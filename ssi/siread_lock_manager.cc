@@ -1,0 +1,509 @@
+#include "ssi/siread_lock_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pgssi::ssi {
+
+namespace {
+constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+}
+
+SireadLockManager::SireadLockManager(const EngineConfig& cfg) : cfg_(cfg) {}
+
+SerializableXact* SireadLockManager::Register(XactId xid, uint64_t snapshot_seq,
+                                              bool read_only) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto x = std::make_unique<SerializableXact>();
+  x->xid = xid;
+  x->snapshot_seq = snapshot_seq;
+  x->read_only = read_only;
+  SerializableXact* raw = x.get();
+  xacts_[xid] = std::move(x);
+  return raw;
+}
+
+SerializableXact* SireadLockManager::Find(XactId xid) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = xacts_.find(xid);
+  return it == xacts_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// SIREAD acquisition with tuple -> page -> relation promotion (Section 5.1)
+// ---------------------------------------------------------------------------
+
+void SireadLockManager::AcquireTuple(SerializableXact* x, RelationId rel,
+                                     PageId page, uint32_t slot) {
+  std::lock_guard<std::mutex> l(mu_);
+  AcquireTupleLocked(x, rel, page, slot);
+}
+
+void SireadLockManager::AcquireTupleLocked(SerializableXact* x, RelationId rel,
+                                           PageId page, uint32_t slot) {
+  if (x->safe_snapshot || x->aborted) return;
+  if (x->held_relations.count(rel)) return;  // covered by coarser lock
+  auto hp = x->held_pages.find(rel);
+  if (hp != x->held_pages.end() && hp->second.count(page)) return;
+
+  auto& slots = x->held_tuples[{rel, page}];
+  if (std::find(slots.begin(), slots.end(), slot) != slots.end()) return;
+  slots.push_back(slot);
+  tuple_locks_[{rel, page, slot}].insert(x);
+
+  if (slots.size() > cfg_.max_locks_per_page) {
+    // Promote: replace this xact's tuple locks on the page with one page
+    // lock (escalation never loses information, only precision).
+    for (uint32_t s : slots) {
+      auto it = tuple_locks_.find({rel, page, s});
+      if (it != tuple_locks_.end()) {
+        it->second.erase(x);
+        if (it->second.empty()) tuple_locks_.erase(it);
+      }
+    }
+    x->held_tuples.erase({rel, page});
+    page_promotions_++;
+    AcquirePageLocked(x, rel, page);
+  }
+}
+
+void SireadLockManager::AcquirePage(SerializableXact* x, RelationId rel,
+                                    PageId page) {
+  std::lock_guard<std::mutex> l(mu_);
+  AcquirePageLocked(x, rel, page);
+}
+
+void SireadLockManager::AcquirePageLocked(SerializableXact* x, RelationId rel,
+                                          PageId page) {
+  if (x->safe_snapshot || x->aborted) return;
+  if (x->held_relations.count(rel)) return;
+  auto& pages = x->held_pages[rel];
+  if (!pages.insert(page).second) return;
+  page_locks_[{rel, page}].insert(x);
+  // Drop now-redundant tuple locks on this page.
+  auto ht = x->held_tuples.find({rel, page});
+  if (ht != x->held_tuples.end()) {
+    for (uint32_t s : ht->second) {
+      auto it = tuple_locks_.find({rel, page, s});
+      if (it != tuple_locks_.end()) {
+        it->second.erase(x);
+        if (it->second.empty()) tuple_locks_.erase(it);
+      }
+    }
+    x->held_tuples.erase(ht);
+  }
+
+  if (pages.size() > cfg_.max_pages_per_relation) {
+    relation_promotions_++;
+    AcquireRelationLocked(x, rel);
+  }
+}
+
+void SireadLockManager::AcquireRelation(SerializableXact* x, RelationId rel) {
+  std::lock_guard<std::mutex> l(mu_);
+  AcquireRelationLocked(x, rel);
+}
+
+void SireadLockManager::AcquireRelationLocked(SerializableXact* x,
+                                              RelationId rel) {
+  if (x->safe_snapshot || x->aborted) return;
+  if (!x->held_relations.insert(rel).second) return;
+  rel_locks_[rel].insert(x);
+  // Drop finer-granularity locks in this relation.
+  auto hp = x->held_pages.find(rel);
+  if (hp != x->held_pages.end()) {
+    for (PageId p : hp->second) {
+      auto it = page_locks_.find({rel, p});
+      if (it != page_locks_.end()) {
+        it->second.erase(x);
+        if (it->second.empty()) page_locks_.erase(it);
+      }
+    }
+    x->held_pages.erase(hp);
+  }
+  for (auto it = x->held_tuples.begin(); it != x->held_tuples.end();) {
+    if (it->first.first == rel) {
+      for (uint32_t s : it->second) {
+        auto tl = tuple_locks_.find({rel, it->first.second, s});
+        if (tl != tuple_locks_.end()) {
+          tl->second.erase(x);
+          if (tl->second.empty()) tuple_locks_.erase(tl);
+        }
+      }
+      it = x->held_tuples.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SireadLockManager::ReleaseOwnTuple(SerializableXact* x, RelationId rel,
+                                        PageId page, uint32_t slot) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto ht = x->held_tuples.find({rel, page});
+  if (ht == x->held_tuples.end()) return;
+  auto& slots = ht->second;
+  auto sit = std::find(slots.begin(), slots.end(), slot);
+  if (sit == slots.end()) return;
+  slots.erase(sit);
+  if (slots.empty()) x->held_tuples.erase(ht);
+  auto it = tuple_locks_.find({rel, page, slot});
+  if (it != tuple_locks_.end()) {
+    it->second.erase(x);
+    if (it->second.empty()) tuple_locks_.erase(it);
+  }
+}
+
+ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
+                                              uint32_t slot) {
+  std::lock_guard<std::mutex> l(mu_);
+  ProbeResult r;
+  auto add = [&r](const std::unordered_set<SerializableXact*>& holders) {
+    for (SerializableXact* h : holders) {
+      if (!h->aborted) r.holder_xids.push_back(h->xid);
+    }
+  };
+  auto t = tuple_locks_.find({rel, page, slot});
+  if (t != tuple_locks_.end()) add(t->second);
+  auto p = page_locks_.find({rel, page});
+  if (p != page_locks_.end()) add(p->second);
+  auto rl = rel_locks_.find(rel);
+  if (rl != rel_locks_.end()) add(rl->second);
+  std::sort(r.holder_xids.begin(), r.holder_xids.end());
+  r.holder_xids.erase(std::unique(r.holder_xids.begin(), r.holder_xids.end()),
+                      r.holder_xids.end());
+  return r;
+}
+
+void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
+                                    PageId new_page,
+                                    const std::vector<uint32_t>& moved_slots) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (uint32_t s : moved_slots) {
+    auto it = tuple_locks_.find({rel, old_page, s});
+    if (it == tuple_locks_.end()) continue;
+    for (SerializableXact* h : it->second) {
+      tuple_locks_[{rel, new_page, s}].insert(h);
+      h->held_tuples[{rel, new_page}].push_back(s);
+    }
+  }
+  auto p = page_locks_.find({rel, old_page});
+  if (p != page_locks_.end()) {
+    // Copy: the insertions below must not invalidate the iterated set.
+    auto holders = p->second;
+    for (SerializableXact* h : holders) {
+      if (h->held_pages[rel].insert(new_page).second) {
+        page_locks_[{rel, new_page}].insert(h);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conflict graph + dangerous structures (Sections 3.1-3.3, 4)
+// ---------------------------------------------------------------------------
+
+bool SireadLockManager::HasIn(const SerializableXact* x) const {
+  return x->sticky_in || !x->in_edges.empty();
+}
+
+bool SireadLockManager::HasOutAny(const SerializableXact* x) const {
+  return x->sticky_out || !x->out_edges.empty();
+}
+
+bool SireadLockManager::HasOutCommittedBefore(const SerializableXact* x,
+                                              uint64_t seq) const {
+  if (x->sticky_out_commit_seq != 0 && x->sticky_out_commit_seq < seq)
+    return true;
+  for (const SerializableXact* o : x->out_edges) {
+    if (o->committed && o->commit_seq < seq) return true;
+  }
+  return false;
+}
+
+void SireadLockManager::FlagRwConflict(SerializableXact* reader,
+                                       SerializableXact* writer) {
+  std::lock_guard<std::mutex> l(mu_);
+  FlagRwConflictLocked(reader, writer);
+}
+
+void SireadLockManager::FlagRwConflictWithWriter(SerializableXact* reader,
+                                                 XactId writer_xid) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = xacts_.find(writer_xid);
+  if (it == xacts_.end()) return;  // non-serializable or already cleaned
+  FlagRwConflictLocked(reader, it->second.get());
+}
+
+void SireadLockManager::FlagRwConflictWithReader(XactId reader_xid,
+                                                 SerializableXact* writer) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = xacts_.find(reader_xid);
+  if (it == xacts_.end()) return;
+  FlagRwConflictLocked(it->second.get(), writer);
+}
+
+void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
+                                             SerializableXact* writer) {
+  if (reader == nullptr || writer == nullptr || reader == writer) return;
+  if (reader->aborted || writer->aborted) return;
+  if (reader->safe_snapshot) return;
+  if (reader->out_edges.count(writer)) return;  // already recorded
+
+  if (cfg_.enable_read_only_opt && reader->read_only && writer->committed) {
+    // Section 4: an edge from a read-only reader matters only when the
+    // writer (the would-be pivot) has an out-edge to a transaction that
+    // committed before the reader's snapshot (i.e. visible to it — hence
+    // the +1 on the exclusive bound). The skip is only sound once the
+    // writer has committed — its out-edge set is final then; for an
+    // in-flight writer the edge must be recorded and the per-reader
+    // bound applied later by DangerousPivot.
+    uint64_t bound = reader->snapshot_seq + 1;
+    if (writer->commit_seq != 0 && writer->commit_seq < bound) {
+      bound = writer->commit_seq;  // T3 must also precede the pivot
+    }
+    if (!HasOutCommittedBefore(writer, bound)) return;
+    if (!reader->doomed) {
+      // The committed pivot's structure is already dangerous for this
+      // reader; the reader is the only abortable party left.
+      reader->doomed = true;
+      ssi_aborts_++;
+    }
+    return;
+  }
+
+  reader->out_edges.insert(writer);
+  writer->in_edges.insert(reader);
+  MaybeDoomOnEdge(reader, writer);
+}
+
+bool SireadLockManager::DangerousPivot(const SerializableXact* x,
+                                       uint64_t pivot_bound) const {
+  // x is a dangerous pivot if some in-neighbour R and some committed
+  // out-neighbour exist with the out-commit preceding `pivot_bound`
+  // (commit-ordering opt) — and, for a declared read-only R under the
+  // Section 4 optimization, also preceding R's snapshot.
+  if (x->sticky_in && HasOutCommittedBefore(x, pivot_bound)) return true;
+  for (const SerializableXact* r : x->in_edges) {
+    uint64_t bound = pivot_bound;
+    if (cfg_.enable_read_only_opt && r->read_only) {
+      bound = std::min(bound, r->snapshot_seq + 1);
+    }
+    if (HasOutCommittedBefore(x, bound)) return true;
+  }
+  return false;
+}
+
+void SireadLockManager::MaybeDoomOnEdge(SerializableXact* reader,
+                                        SerializableXact* writer) {
+  // Writer just gained an in-edge: is it a pivot whose dangerous structure
+  // is already unavoidable (its out-neighbour committed first)?
+  // A commit-pending xact (committed, seq still 0) is treated as having
+  // committed "now": bound at infinity, conservatively.
+  uint64_t writer_bound =
+      writer->committed && writer->commit_seq != 0 ? writer->commit_seq : kInf;
+  if (DangerousPivot(writer, writer_bound)) {
+    if (!writer->committed) {
+      if (!writer->doomed) {
+        writer->doomed = true;
+        ssi_aborts_++;
+      }
+    } else if (!reader->committed && !reader->doomed) {
+      // The pivot already committed; the only transaction still abortable
+      // is the incoming reader.
+      reader->doomed = true;
+      ssi_aborts_++;
+    }
+    return;
+  }
+  if (!cfg_.enable_commit_ordering_opt && reader->committed &&
+      HasIn(reader) && !writer->doomed && !writer->committed) {
+    // Without the commit-ordering refinement, a committed pivot dooms the
+    // overwriting transaction regardless of commit order.
+    writer->doomed = true;
+    ssi_aborts_++;
+    return;
+  }
+  if (!cfg_.enable_safe_retry && !writer->committed && !writer->doomed &&
+      HasIn(writer) && HasOutAny(writer)) {
+    // Eager victim policy: abort the pivot as soon as the structure forms,
+    // even though its partners are still in flight and a retry may hit the
+    // same conflict again (Section 5.4 discusses why this is wasteful).
+    writer->doomed = true;
+    ssi_aborts_++;
+  }
+}
+
+Status SireadLockManager::PreCommit(SerializableXact* x) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (x->doomed) {
+    return Status::SerializationFailure(
+        "canceled due to rw-antidependency conflict (doomed)");
+  }
+  bool hazard;
+  if (cfg_.enable_commit_ordering_opt) {
+    hazard = DangerousPivot(x, kInf);
+  } else {
+    hazard = HasIn(x) && HasOutAny(x);
+  }
+  if (hazard) {
+    ssi_aborts_++;
+    return Status::SerializationFailure(
+        "canceled on commit: pivot in dangerous structure");
+  }
+  // Passed: mark commit-pending NOW, under the same lock as the check.
+  // Without this, an edge formed between the check and MarkCommitted
+  // could doom this xact after it is already past its last doomed-flag
+  // inspection — and both sides of the dangerous structure would commit.
+  // Marking it committed makes any such concurrent edge doom the other
+  // party instead (this transaction is certain to commit first).
+  x->committed = true;
+  return Status::OK();
+}
+
+bool SireadLockManager::Doomed(const SerializableXact* x) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return x->doomed;
+}
+
+void SireadLockManager::MarkCommitted(SerializableXact* x,
+                                      uint64_t commit_seq) {
+  std::lock_guard<std::mutex> l(mu_);
+  x->committed = true;
+  x->commit_seq = commit_seq;
+}
+
+void SireadLockManager::DissolveEdgesLocked(SerializableXact* x,
+                                            bool make_sticky) {
+  for (SerializableXact* o : x->out_edges) {
+    o->in_edges.erase(x);
+    if (make_sticky && x->committed) o->sticky_in = true;
+  }
+  for (SerializableXact* i : x->in_edges) {
+    i->out_edges.erase(x);
+    if (make_sticky && x->committed) {
+      i->sticky_out = true;
+      if (i->sticky_out_commit_seq == 0 ||
+          x->commit_seq < i->sticky_out_commit_seq) {
+        i->sticky_out_commit_seq = x->commit_seq;
+      }
+    }
+  }
+  x->out_edges.clear();
+  x->in_edges.clear();
+}
+
+void SireadLockManager::ReleaseAllLocksLocked(SerializableXact* x) {
+  for (auto& [key, slots] : x->held_tuples) {
+    for (uint32_t s : slots) {
+      auto it = tuple_locks_.find({key.first, key.second, s});
+      if (it != tuple_locks_.end()) {
+        it->second.erase(x);
+        if (it->second.empty()) tuple_locks_.erase(it);
+      }
+    }
+  }
+  x->held_tuples.clear();
+  for (auto& [rel, pages] : x->held_pages) {
+    for (PageId p : pages) {
+      auto it = page_locks_.find({rel, p});
+      if (it != page_locks_.end()) {
+        it->second.erase(x);
+        if (it->second.empty()) page_locks_.erase(it);
+      }
+    }
+  }
+  x->held_pages.clear();
+  for (RelationId rel : x->held_relations) {
+    auto it = rel_locks_.find(rel);
+    if (it != rel_locks_.end()) {
+      it->second.erase(x);
+      if (it->second.empty()) rel_locks_.erase(it);
+    }
+  }
+  x->held_relations.clear();
+}
+
+void SireadLockManager::Abort(SerializableXact* x) {
+  std::lock_guard<std::mutex> l(mu_);
+  x->aborted = true;
+  DissolveEdgesLocked(x, /*make_sticky=*/false);
+  ReleaseAllLocksLocked(x);
+  xacts_.erase(x->xid);  // frees x when engine-registered; no-op for stack
+}
+
+void SireadLockManager::Cleanup(uint64_t oldest_active_snapshot_seq) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<XactId> dead;
+  for (auto& [xid, x] : xacts_) {
+    // commit_seq == 0 means commit-pending: not freeable yet.
+    if (x->committed && x->commit_seq != 0 &&
+        x->commit_seq <= oldest_active_snapshot_seq) {
+      dead.push_back(xid);
+    }
+  }
+  for (XactId xid : dead) {
+    auto it = xacts_.find(xid);
+    SerializableXact* x = it->second.get();
+    DissolveEdgesLocked(x, /*make_sticky=*/true);
+    ReleaseAllLocksLocked(x);
+    xacts_.erase(it);
+  }
+}
+
+bool SireadLockManager::CommittedWithDangerousOut(XactId xid,
+                                                  uint64_t snapshot_seq) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = xacts_.find(xid);
+  if (it == xacts_.end()) return false;  // cleaned up => no longer relevant
+  SerializableXact* x = it->second.get();
+  return x->committed && HasOutCommittedBefore(x, snapshot_seq + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+bool SireadLockManager::HoldsTupleLock(const SerializableXact* x,
+                                       RelationId rel, PageId page,
+                                       uint32_t slot) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = tuple_locks_.find({rel, page, slot});
+  return it != tuple_locks_.end() &&
+         it->second.count(const_cast<SerializableXact*>(x));
+}
+
+bool SireadLockManager::HoldsPageLock(const SerializableXact* x,
+                                      RelationId rel, PageId page) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = page_locks_.find({rel, page});
+  return it != page_locks_.end() &&
+         it->second.count(const_cast<SerializableXact*>(x));
+}
+
+bool SireadLockManager::HoldsRelationLock(const SerializableXact* x,
+                                          RelationId rel) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = rel_locks_.find(rel);
+  return it != rel_locks_.end() &&
+         it->second.count(const_cast<SerializableXact*>(x));
+}
+
+size_t SireadLockManager::RegisteredCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return xacts_.size();
+}
+size_t SireadLockManager::TupleLockCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return tuple_locks_.size();
+}
+size_t SireadLockManager::PageLockCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return page_locks_.size();
+}
+size_t SireadLockManager::RelationLockCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return rel_locks_.size();
+}
+
+}  // namespace pgssi::ssi

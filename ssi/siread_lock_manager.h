@@ -1,0 +1,186 @@
+// SIREAD lock manager + rw-antidependency (conflict) graph.
+//
+// This is the engine's implementation of the paper's core machinery:
+//  - multi-granularity SIREAD locks (tuple -> page -> relation) with
+//    promotion thresholds from EngineConfig (Section 5.1);
+//  - ProbeHeapWrite: the check every heap write performs to discover
+//    readers it creates an rw-antidependency with;
+//  - the per-transaction conflict flags / edge lists and the
+//    dangerous-structure test (two consecutive rw edges with the final
+//    transaction committing first) run both eagerly when an edge forms and
+//    at commit (Sections 3.1-3.3);
+//  - SIREAD locks surviving commit, released only once every concurrent
+//    transaction has finished (Section 5.3 cleanup);
+//  - the Section 4 read-only optimization: an edge from a read-only
+//    reader is only dangerous if the pivot's out-edge leads to a
+//    transaction that committed before the reader's snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/config.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace pgssi::ssi {
+
+struct SerializableXact {
+  XactId xid = 0;
+  uint64_t snapshot_seq = 0;
+  uint64_t commit_seq = 0;  // 0 while in flight
+  bool read_only = false;
+  bool safe_snapshot = false;  // read-only with a safe snapshot: no tracking
+  bool committed = false;
+  bool aborted = false;
+  // Set when this transaction must abort with a serialization failure at
+  // its next operation or commit (it is the chosen victim of a dangerous
+  // structure it can no longer avoid).
+  bool doomed = false;
+
+  // Conflict graph. `in_edges` holds T1 for each T1 -rw-> this edge
+  // (T1 read a version this transaction overwrote); `out_edges` holds T3
+  // for each this -rw-> T3 edge. Guarded by the manager mutex.
+  std::unordered_set<SerializableXact*> in_edges;
+  std::unordered_set<SerializableXact*> out_edges;
+  // Summary flags left behind when a committed partner is cleaned up.
+  bool sticky_in = false;
+  bool sticky_out = false;
+  uint64_t sticky_out_commit_seq = 0;  // min commit seq of cleaned out-partners
+
+  // SIREAD lock bookkeeping (which granules this xact holds), so release
+  // and promotion are O(held locks). Guarded by the manager mutex.
+  std::map<std::pair<RelationId, PageId>, std::vector<uint32_t>> held_tuples;
+  std::map<RelationId, std::unordered_set<PageId>> held_pages;
+  std::unordered_set<RelationId> held_relations;
+};
+
+struct ProbeResult {
+  std::vector<XactId> holder_xids;
+};
+
+class SireadLockManager {
+ public:
+  explicit SireadLockManager(const EngineConfig& cfg);
+
+  // ----- xact registry (engine-managed transactions) -----
+  SerializableXact* Register(XactId xid, uint64_t snapshot_seq, bool read_only);
+  SerializableXact* Find(XactId xid);
+
+  // ----- SIREAD acquisition (Section 5.1) -----
+  void AcquireTuple(SerializableXact* x, RelationId rel, PageId page,
+                    uint32_t slot);
+  void AcquirePage(SerializableXact* x, RelationId rel, PageId page);
+  void AcquireRelation(SerializableXact* x, RelationId rel);
+  /// Section 7.3: drop x's own tuple-granularity SIREAD lock after x
+  /// itself writes that tuple.
+  void ReleaseOwnTuple(SerializableXact* x, RelationId rel, PageId page,
+                       uint32_t slot);
+
+  /// Every heap write probes for SIREAD locks (tuple, its page, and the
+  /// relation) held by other transactions. Returns all holders' xids.
+  ProbeResult ProbeHeapWrite(RelationId rel, PageId page, uint32_t slot);
+
+  /// Section 5.2.2: a B+-tree leaf split moved `moved_slots` from
+  /// `old_page` to `new_page`; duplicate the covering locks.
+  void OnPageSplit(RelationId rel, PageId old_page, PageId new_page,
+                   const std::vector<uint32_t>& moved_slots);
+
+  // ----- conflict flagging + dangerous structure (Sections 3.1-3.3) -----
+  /// Record reader -rw-> writer. May doom one of the parties if this edge
+  /// completes a dangerous structure that can no longer resolve safely.
+  void FlagRwConflict(SerializableXact* reader, SerializableXact* writer);
+  /// Same, resolving one side by xid under the manager lock (the pointer
+  /// for a foreign xact may be freed concurrently, so callers outside the
+  /// manager must not hold one across calls). Unknown xids are ignored.
+  void FlagRwConflictWithWriter(SerializableXact* reader, XactId writer_xid);
+  void FlagRwConflictWithReader(XactId reader_xid, SerializableXact* writer);
+
+  /// Commit-time dangerous-structure test. Returns a serialization
+  /// failure if `x` is doomed or is a pivot whose abort is required.
+  Status PreCommit(SerializableXact* x);
+
+  void MarkCommitted(SerializableXact* x, uint64_t commit_seq);
+  /// Abort: dissolve edges, release all SIREAD locks, unregister.
+  void Abort(SerializableXact* x);
+
+  /// Free committed xacts (and their SIREAD locks) whose commit precedes
+  /// every active snapshot. Edges to still-live partners become sticky
+  /// summary flags.
+  void Cleanup(uint64_t oldest_active_snapshot_seq);
+
+  /// True if `x` (a committed concurrent txn) makes a candidate snapshot
+  /// taken at `snapshot_seq` unsafe: it committed with an rw-out-edge to
+  /// a transaction that committed before that snapshot (Section 4).
+  bool CommittedWithDangerousOut(XactId xid, uint64_t snapshot_seq);
+
+  bool Doomed(const SerializableXact* x) const;
+
+  // ----- introspection (tests, stats) -----
+  bool HoldsTupleLock(const SerializableXact* x, RelationId rel, PageId page,
+                      uint32_t slot) const;
+  bool HoldsPageLock(const SerializableXact* x, RelationId rel,
+                     PageId page) const;
+  bool HoldsRelationLock(const SerializableXact* x, RelationId rel) const;
+  size_t RegisteredCount() const;
+  size_t TupleLockCount() const;
+  size_t PageLockCount() const;
+  size_t RelationLockCount() const;
+  uint64_t page_promotions() const {
+    return page_promotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t relation_promotions() const {
+    return relation_promotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t ssi_aborts() const {
+    return ssi_aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TupleTag {
+    RelationId rel;
+    PageId page;
+    uint32_t slot;
+    bool operator<(const TupleTag& o) const {
+      if (rel != o.rel) return rel < o.rel;
+      if (page != o.page) return page < o.page;
+      return slot < o.slot;
+    }
+  };
+  void AcquireTupleLocked(SerializableXact* x, RelationId rel, PageId page,
+                          uint32_t slot);
+  void AcquirePageLocked(SerializableXact* x, RelationId rel, PageId page);
+  void AcquireRelationLocked(SerializableXact* x, RelationId rel);
+  void ReleaseAllLocksLocked(SerializableXact* x);
+  void DissolveEdgesLocked(SerializableXact* x, bool make_sticky);
+  // Dangerous-structure predicate helpers (manager mutex held).
+  bool HasIn(const SerializableXact* x) const;
+  bool HasOutAny(const SerializableXact* x) const;
+  bool HasOutCommittedBefore(const SerializableXact* x, uint64_t seq) const;
+  bool DangerousPivot(const SerializableXact* x, uint64_t pivot_bound) const;
+  void FlagRwConflictLocked(SerializableXact* reader, SerializableXact* writer);
+  void MaybeDoomOnEdge(SerializableXact* reader, SerializableXact* writer);
+
+  EngineConfig cfg_;
+  mutable std::mutex mu_;
+
+  std::unordered_map<XactId, std::unique_ptr<SerializableXact>> xacts_;
+  std::map<TupleTag, std::unordered_set<SerializableXact*>> tuple_locks_;
+  std::map<std::pair<RelationId, PageId>, std::unordered_set<SerializableXact*>>
+      page_locks_;
+  std::unordered_map<RelationId, std::unordered_set<SerializableXact*>>
+      rel_locks_;
+
+  // Mutated under mu_, but read by stats accessors without it: atomic.
+  std::atomic<uint64_t> page_promotions_{0};
+  std::atomic<uint64_t> relation_promotions_{0};
+  std::atomic<uint64_t> ssi_aborts_{0};
+};
+
+}  // namespace pgssi::ssi

@@ -1,0 +1,164 @@
+// SIREAD lock manager unit tests: multi-granularity promotion thresholds,
+// probe hit/miss, page-split lock transfer, and commit-cleanup release.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ssi/siread_lock_manager.h"
+
+namespace pgssi::ssi {
+namespace {
+
+bool Holds(const ProbeResult& r, XactId x) {
+  return std::find(r.holder_xids.begin(), r.holder_xids.end(), x) !=
+         r.holder_xids.end();
+}
+
+TEST(SireadLockManagerTest, ProbeHitAndMiss) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact x;
+  x.xid = 7;
+  mgr.AcquireTuple(&x, 1, 10, 3);
+
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 10, 3), 7));
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(1, 10, 4), 7));   // other slot
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(1, 11, 3), 7));   // other page
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(2, 10, 3), 7));   // other relation
+  EXPECT_TRUE(mgr.HoldsTupleLock(&x, 1, 10, 3));
+  EXPECT_FALSE(mgr.HoldsPageLock(&x, 1, 10));
+}
+
+TEST(SireadLockManagerTest, AcquireIsIdempotent) {
+  EngineConfig cfg;
+  cfg.max_locks_per_page = 3;
+  SireadLockManager mgr(cfg);
+  SerializableXact x;
+  x.xid = 1;
+  for (int i = 0; i < 10; i++) mgr.AcquireTuple(&x, 1, 5, 2);
+  EXPECT_EQ(mgr.TupleLockCount(), 1u);  // re-acquiring never promotes
+  EXPECT_FALSE(mgr.HoldsPageLock(&x, 1, 5));
+}
+
+TEST(SireadLockManagerTest, TupleToPagePromotionAtThreshold) {
+  EngineConfig cfg;
+  cfg.max_locks_per_page = 3;
+  cfg.max_pages_per_relation = 100;
+  SireadLockManager mgr(cfg);
+  SerializableXact x;
+  x.xid = 9;
+
+  mgr.AcquireTuple(&x, 1, 20, 0);
+  mgr.AcquireTuple(&x, 1, 20, 1);
+  mgr.AcquireTuple(&x, 1, 20, 2);
+  EXPECT_EQ(mgr.TupleLockCount(), 3u);
+  EXPECT_FALSE(mgr.HoldsPageLock(&x, 1, 20));
+  EXPECT_EQ(mgr.page_promotions(), 0u);
+
+  // The (threshold+1)-th tuple lock on the page escalates.
+  mgr.AcquireTuple(&x, 1, 20, 3);
+  EXPECT_TRUE(mgr.HoldsPageLock(&x, 1, 20));
+  EXPECT_EQ(mgr.TupleLockCount(), 0u);  // tuple locks replaced
+  EXPECT_EQ(mgr.page_promotions(), 1u);
+
+  // The page lock still answers probes for any slot on the page,
+  // including slots never individually locked.
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 20, 0), 9));
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 20, 77), 9));
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(1, 21, 0), 9));
+}
+
+TEST(SireadLockManagerTest, PageToRelationPromotionAtThreshold) {
+  EngineConfig cfg;
+  cfg.max_locks_per_page = 1;
+  cfg.max_pages_per_relation = 2;
+  SireadLockManager mgr(cfg);
+  SerializableXact x;
+  x.xid = 5;
+
+  // Two tuple locks per page promote each page; the third page lock
+  // promotes to the relation.
+  for (PageId p = 1; p <= 3; p++) {
+    mgr.AcquireTuple(&x, 4, p, 0);
+    mgr.AcquireTuple(&x, 4, p, 1);
+  }
+  EXPECT_TRUE(mgr.HoldsRelationLock(&x, 4));
+  EXPECT_EQ(mgr.PageLockCount(), 0u);
+  EXPECT_EQ(mgr.TupleLockCount(), 0u);
+  EXPECT_GE(mgr.relation_promotions(), 1u);
+
+  // Relation lock covers every page/slot of the relation.
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(4, 999, 42), 5));
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(5, 999, 42), 5));
+}
+
+TEST(SireadLockManagerTest, PageSplitTransfersLocks) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact reader;
+  reader.xid = 11;
+  mgr.AcquireTuple(&reader, 1, /*page=*/1, /*slot=*/5);
+  SerializableXact pager;
+  pager.xid = 12;
+  mgr.AcquirePage(&pager, 1, 1);
+
+  // Leaf 1 splits; slot 5 moves to the new leaf 2.
+  mgr.OnPageSplit(1, /*old_page=*/1, /*new_page=*/2, {5});
+
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 2, 5), 11));  // tuple lock moved
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 2, 9), 12));  // page lock duplicated
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 1, 5), 11));  // old granule retained
+}
+
+TEST(SireadLockManagerTest, AbortReleasesEverything) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact* x = mgr.Register(21, 0, false);
+  mgr.AcquireTuple(x, 1, 1, 1);
+  mgr.AcquirePage(x, 1, 2);
+  mgr.AcquireRelation(x, 3);
+  EXPECT_EQ(mgr.RegisteredCount(), 1u);
+
+  mgr.Abort(x);  // frees x
+  EXPECT_EQ(mgr.RegisteredCount(), 0u);
+  EXPECT_EQ(mgr.TupleLockCount(), 0u);
+  EXPECT_EQ(mgr.PageLockCount(), 0u);
+  EXPECT_EQ(mgr.RelationLockCount(), 0u);
+  EXPECT_TRUE(mgr.ProbeHeapWrite(1, 1, 1).holder_xids.empty());
+}
+
+TEST(SireadLockManagerTest, SireadLocksSurviveCommitUntilCleanup) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact* x = mgr.Register(31, /*snapshot_seq=*/10, false);
+  mgr.AcquireTuple(x, 1, 7, 0);
+
+  mgr.MarkCommitted(x, /*commit_seq=*/12);
+  // Still held: a transaction concurrent with x (snapshot 11 < 12) exists.
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 7, 0), 31));
+  mgr.Cleanup(/*oldest_active_snapshot_seq=*/11);
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 7, 0), 31));
+  EXPECT_EQ(mgr.RegisteredCount(), 1u);
+
+  // Once every concurrent transaction is gone, cleanup frees the xact and
+  // its SIREAD locks.
+  mgr.Cleanup(/*oldest_active_snapshot_seq=*/12);
+  EXPECT_EQ(mgr.RegisteredCount(), 0u);
+  EXPECT_TRUE(mgr.ProbeHeapWrite(1, 7, 0).holder_xids.empty());
+}
+
+TEST(SireadLockManagerTest, WriteSupersedesSireadRelease) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact x;
+  x.xid = 41;
+  mgr.AcquireTuple(&x, 1, 3, 4);
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 3, 4), 41));
+  mgr.ReleaseOwnTuple(&x, 1, 3, 4);
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(1, 3, 4), 41));
+  // Releasing a non-held granule is a no-op.
+  mgr.ReleaseOwnTuple(&x, 1, 3, 4);
+}
+
+}  // namespace
+}  // namespace pgssi::ssi

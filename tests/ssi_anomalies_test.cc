@@ -1,0 +1,293 @@
+// SSI correctness: the classic SI anomalies from the paper's Section 2.
+// Each scenario is run twice — REPEATABLE READ (snapshot isolation) must
+// permit the anomaly, SERIALIZABLE (SSI) must abort exactly one of the
+// participating transactions with a serialization failure.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "db/transaction_handle.h"
+
+namespace pgssi {
+namespace {
+
+class SsiAnomaliesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = Database::Open({}); }
+
+  std::unique_ptr<Transaction> Begin(IsolationLevel iso,
+                                     bool read_only = false) {
+    return db_->Begin({.isolation = iso, .read_only = read_only});
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// ---------------------------------------------------------------------------
+// Simple write skew (Section 2.2 "doctors on call" shape): T1 reads x,y and
+// writes x; T2 reads x,y and writes y. Serializable in neither order.
+// ---------------------------------------------------------------------------
+
+// Returns the commit status pair of the two write-skew transactions.
+std::pair<Status, Status> RunWriteSkew(Database* db, TableId t,
+                                       IsolationLevel iso) {
+  {
+    auto w = db->Begin();
+    EXPECT_TRUE(w->Put(t, "x", "1").ok());
+    EXPECT_TRUE(w->Put(t, "y", "1").ok());
+    EXPECT_TRUE(w->Commit().ok());
+  }
+  auto t1 = db->Begin({.isolation = iso});
+  auto t2 = db->Begin({.isolation = iso});
+  std::string v;
+  // Both read the invariant "x + y >= 0"... each then zeroes one side.
+  EXPECT_TRUE(t1->Get(t, "x", &v).ok());
+  EXPECT_TRUE(t1->Get(t, "y", &v).ok());
+  EXPECT_TRUE(t2->Get(t, "x", &v).ok());
+  EXPECT_TRUE(t2->Get(t, "y", &v).ok());
+  Status s1 = t1->Put(t, "x", "0");
+  if (s1.ok()) s1 = t1->Commit();
+  Status s2 = t2->Put(t, "y", "0");
+  if (s2.ok()) s2 = t2->Commit();
+  return {s1, s2};
+}
+
+TEST_F(SsiAnomaliesTest, WriteSkewPermittedUnderRepeatableRead) {
+  TableId t;
+  ASSERT_TRUE(db_->CreateTable("ws_rr", &t).ok());
+  auto [s1, s2] = RunWriteSkew(db_.get(), t, IsolationLevel::kRepeatableRead);
+  // SI permits the anomaly: both commit, and the invariant is broken.
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  EXPECT_TRUE(s2.ok()) << s2.ToString();
+  auto r = db_->Begin();
+  std::string x, y;
+  ASSERT_TRUE(r->Get(t, "x", &x).ok());
+  ASSERT_TRUE(r->Get(t, "y", &y).ok());
+  EXPECT_EQ(x, "0");
+  EXPECT_EQ(y, "0");  // both zeroed: non-serializable outcome
+  ASSERT_TRUE(r->Commit().ok());
+}
+
+TEST_F(SsiAnomaliesTest, WriteSkewAbortsExactlyOneUnderSerializable) {
+  TableId t;
+  ASSERT_TRUE(db_->CreateTable("ws_ssi", &t).ok());
+  auto [s1, s2] = RunWriteSkew(db_.get(), t, IsolationLevel::kSerializable);
+  // Exactly one commits; the other gets a serialization failure.
+  EXPECT_NE(s1.ok(), s2.ok()) << "s1=" << s1.ToString()
+                              << " s2=" << s2.ToString();
+  const Status& failed = s1.ok() ? s2 : s1;
+  EXPECT_EQ(failed.code(), Code::kSerializationFailure) << failed.ToString();
+  // The surviving state is serializable: only one side zeroed.
+  auto r = db_->Begin();
+  std::string x, y;
+  ASSERT_TRUE(r->Get(t, "x", &x).ok());
+  ASSERT_TRUE(r->Get(t, "y", &y).ok());
+  EXPECT_NE(x == "0", y == "0");
+  ASSERT_TRUE(r->Commit().ok());
+}
+
+TEST_F(SsiAnomaliesTest, WriteSkewVictimRetrySucceeds) {
+  TableId t;
+  ASSERT_TRUE(db_->CreateTable("ws_retry", &t).ok());
+  auto [s1, s2] = RunWriteSkew(db_.get(), t, IsolationLevel::kSerializable);
+  ASSERT_NE(s1.ok(), s2.ok());
+  // Section 5.4 safe retry: with the conflicting partner committed, an
+  // immediate retry of the victim's logic must succeed.
+  auto retry = Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(retry->Get(t, "x", &v).ok());
+  ASSERT_TRUE(retry->Get(t, "y", &v).ok());
+  ASSERT_TRUE(retry->Put(t, s1.ok() ? "y" : "x", "0").ok());
+  EXPECT_TRUE(retry->Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Batch processing (Fekete et al., the paper's Section 2.2.1 pattern, on
+// two plain keys): x is the current batch number, y the batch-1 total.
+//   N (deposit): reads x, later adds its deposit to batch x's total y.
+//   C (close):   increments x, commits first.
+//   R (report):  begins after C commits; reads x (new) and y (batch-1
+//                total), reports it as final, commits.
+// N then writes y: the report already published a total N's deposit
+// would invalidate. N is a pivot (R -rw-> N via y, N -rw-> C via x)
+// whose out-neighbor committed first => SSI aborts N; SI lets all three
+// commit and the report is wrong.
+// ---------------------------------------------------------------------------
+
+TEST_F(SsiAnomaliesTest, BatchProcessingAnomalyAbortedUnderSerializable) {
+  TableId t;
+  ASSERT_TRUE(db_->CreateTable("batch", &t).ok());
+  {
+    auto w = db_->Begin();
+    ASSERT_TRUE(w->Put(t, "x", "1").ok());  // current batch
+    ASSERT_TRUE(w->Put(t, "y", "0").ok());  // batch-1 running total
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  auto n = Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(n->Get(t, "x", &v).ok());
+  EXPECT_EQ(v, "1");
+
+  auto c = Begin(IsolationLevel::kSerializable);
+  ASSERT_TRUE(c->Get(t, "x", &v).ok());
+  ASSERT_TRUE(c->Put(t, "x", "2").ok());
+  ASSERT_TRUE(c->Commit().ok());
+
+  auto r = Begin(IsolationLevel::kSerializable);
+  ASSERT_TRUE(r->Get(t, "x", &v).ok());
+  EXPECT_EQ(v, "2");  // batch 1 is closed...
+  ASSERT_TRUE(r->Get(t, "y", &v).ok());
+  EXPECT_EQ(v, "0");  // ...and its reported total is 0.
+  ASSERT_TRUE(r->Commit().ok());
+
+  // N's deposit into the already-reported batch must fail.
+  Status st = n->Put(t, "y", "100");
+  if (st.ok()) st = n->Commit();
+  EXPECT_EQ(st.code(), Code::kSerializationFailure) << st.ToString();
+
+  auto check = db_->Begin();
+  ASSERT_TRUE(check->Get(t, "y", &v).ok());
+  EXPECT_EQ(v, "0");  // the reported total stays final
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+TEST_F(SsiAnomaliesTest, BatchProcessingPermittedUnderRepeatableRead) {
+  TableId t;
+  ASSERT_TRUE(db_->CreateTable("batch_rr", &t).ok());
+  {
+    auto w = db_->Begin();
+    ASSERT_TRUE(w->Put(t, "x", "1").ok());
+    ASSERT_TRUE(w->Put(t, "y", "0").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  auto n = Begin(IsolationLevel::kRepeatableRead);
+  std::string v;
+  ASSERT_TRUE(n->Get(t, "x", &v).ok());
+
+  auto c = Begin(IsolationLevel::kRepeatableRead);
+  ASSERT_TRUE(c->Get(t, "x", &v).ok());
+  ASSERT_TRUE(c->Put(t, "x", "2").ok());
+  ASSERT_TRUE(c->Commit().ok());
+
+  auto r = Begin(IsolationLevel::kRepeatableRead);
+  ASSERT_TRUE(r->Get(t, "x", &v).ok());
+  ASSERT_TRUE(r->Get(t, "y", &v).ok());
+  EXPECT_EQ(v, "0");
+  ASSERT_TRUE(r->Commit().ok());
+
+  // SI permits the late deposit: the report was wrong.
+  ASSERT_TRUE(n->Put(t, "y", "100").ok());
+  EXPECT_TRUE(n->Commit().ok());
+  auto check = db_->Begin();
+  ASSERT_TRUE(check->Get(t, "y", &v).ok());
+  EXPECT_EQ(v, "100");
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Receipt report (Section 2.2.1): receipt insertion N, batch close C,
+// report R. C commits first; R (running after C) reports the closed
+// batch; N (still on the old batch number) then tries to insert a receipt
+// into the batch R already reported. N is the pivot with a committed
+// out-neighbor and must abort under SSI.
+// ---------------------------------------------------------------------------
+
+TEST_F(SsiAnomaliesTest, ReceiptReportAbortsInserterUnderSerializable) {
+  TableId ctl, receipts;
+  ASSERT_TRUE(db_->CreateTable("ctl", &ctl).ok());
+  ASSERT_TRUE(db_->CreateTable("receipts", &receipts).ok());
+  {
+    auto w = db_->Begin();
+    ASSERT_TRUE(w->Put(ctl, "batch", "7").ok());
+    ASSERT_TRUE(w->Put(receipts, "7:001", "99").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+
+  // N: new receipt on the current batch (reads batch number first).
+  auto n = Begin(IsolationLevel::kSerializable);
+  std::string batch;
+  ASSERT_TRUE(n->Get(ctl, "batch", &batch).ok());
+  EXPECT_EQ(batch, "7");
+
+  // C: close the batch (increments the counter), commits first.
+  auto c = Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(c->Get(ctl, "batch", &v).ok());
+  ASSERT_TRUE(c->Put(ctl, "batch", "8").ok());
+  ASSERT_TRUE(c->Commit().ok());
+
+  // R: report for batch 7 — reads the new counter and scans batch 7's
+  // receipts. Runs entirely after C committed.
+  auto r = Begin(IsolationLevel::kSerializable);
+  ASSERT_TRUE(r->Get(ctl, "batch", &v).ok());
+  EXPECT_EQ(v, "8");
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(r->Scan(receipts, "7:", "7:\x7f", &rows).ok());
+  EXPECT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(r->Commit().ok());
+
+  // N now inserts its receipt into batch 7 — which R already reported as
+  // final. N is a pivot (R -rw-> N via the receipts scan, N -rw-> C via
+  // the batch counter) whose out-neighbor C committed first: abort.
+  Status ins = n->Insert(receipts, "7:002", "25");
+  Status fin = ins.ok() ? n->Commit() : ins;
+  EXPECT_FALSE(fin.ok());
+  EXPECT_EQ(fin.code(), Code::kSerializationFailure) << fin.ToString();
+
+  // The reported batch stays final.
+  auto check = db_->Begin();
+  ASSERT_TRUE(check->Scan(receipts, "7:", "7:\x7f", &rows).ok());
+  EXPECT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+TEST_F(SsiAnomaliesTest, ReceiptReportPermittedUnderRepeatableRead) {
+  TableId ctl, receipts;
+  ASSERT_TRUE(db_->CreateTable("ctl_rr", &ctl).ok());
+  ASSERT_TRUE(db_->CreateTable("receipts_rr", &receipts).ok());
+  {
+    auto w = db_->Begin();
+    ASSERT_TRUE(w->Put(ctl, "batch", "7").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  auto n = Begin(IsolationLevel::kRepeatableRead);
+  std::string batch;
+  ASSERT_TRUE(n->Get(ctl, "batch", &batch).ok());
+
+  auto c = Begin(IsolationLevel::kRepeatableRead);
+  ASSERT_TRUE(c->Get(ctl, "batch", &batch).ok());
+  ASSERT_TRUE(c->Put(ctl, "batch", "8").ok());
+  ASSERT_TRUE(c->Commit().ok());
+
+  auto r = Begin(IsolationLevel::kRepeatableRead);
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(r->Scan(receipts, "7:", "7:\x7f", &rows).ok());
+  EXPECT_EQ(rows.size(), 0u);  // report: batch 7 is empty and closed
+  ASSERT_TRUE(r->Commit().ok());
+
+  // SI allows the late insert: the anomaly the paper opens with.
+  ASSERT_TRUE(n->Insert(receipts, "7:001", "25").ok());
+  EXPECT_TRUE(n->Commit().ok());
+}
+
+// The dangerous structure must NOT fire for harmless single rw edges:
+// a plain reader/writer pair with one antidependency commits fine.
+TEST_F(SsiAnomaliesTest, SingleRwEdgeDoesNotAbort) {
+  TableId t;
+  ASSERT_TRUE(db_->CreateTable("single_edge", &t).ok());
+  {
+    auto w = db_->Begin();
+    ASSERT_TRUE(w->Put(t, "a", "1").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  auto reader = Begin(IsolationLevel::kSerializable);
+  auto writer = Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(reader->Get(t, "a", &v).ok());
+  ASSERT_TRUE(writer->Put(t, "a", "2").ok());
+  EXPECT_TRUE(writer->Commit().ok());
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+}  // namespace
+}  // namespace pgssi

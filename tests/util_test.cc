@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pgssi {
+namespace {
+
+TEST(StatusTest, CodesAndToString) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().code(), Code::kOk);
+
+  Status nf = Status::NotFound("k1");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_EQ(nf.code(), Code::kNotFound);
+  EXPECT_NE(nf.ToString().find("NotFound"), std::string::npos);
+
+  Status sf = Status::SerializationFailure("pivot");
+  EXPECT_TRUE(sf.IsSerializationFailure());
+  EXPECT_EQ(sf.code(), Code::kSerializationFailure);
+  EXPECT_NE(sf.ToString().find("pivot"), std::string::npos);
+
+  EXPECT_EQ(Status::AlreadyExists().code(), Code::kAlreadyExists);
+  EXPECT_FALSE(Status::AlreadyExists().IsSerializationFailure());
+}
+
+TEST(RandomTest, DeterministicAndInRange) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Random r(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(r.Uniform(0), 0u);
+  // Extremes of Bernoulli.
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(HistogramTest, PercentilesAndExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.Median(), 0);
+  EXPECT_EQ(h.max(), 0);
+  for (int i = 1; i <= 100; i++) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_NEAR(h.Median(), 50.5, 0.51);
+  EXPECT_NEAR(h.Percentile(90), 90, 1.1);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+}
+
+TEST(ClockTest, Monotonic) {
+  uint64_t a = NowMicros();
+  uint64_t b = NowMicros();
+  EXPECT_GE(b, a);
+  uint64_t t0 = NowMicros();
+  SimulatedIoDelay(200);
+  EXPECT_GE(NowMicros() - t0, 200u);
+}
+
+}  // namespace
+}  // namespace pgssi

@@ -1,0 +1,90 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pgssi::txn {
+
+TxnManager::BeginResult TxnManager::Begin(bool serializable_rw) {
+  std::lock_guard<std::mutex> l(mu_);
+  XactId xid = next_xid_++;
+  active_[xid] = ActiveTxn{last_committed_seq_, serializable_rw};
+  return BeginResult{xid, last_committed_seq_};
+}
+
+uint64_t TxnManager::Commit(XactId xid,
+                            const std::function<void(uint64_t)>& stamp) {
+  // The commit lock makes (stamp versions, publish seq) atomic with
+  // respect to snapshot acquisition: a reader that sees snapshot S is
+  // guaranteed every version with commit_seq <= S is already stamped.
+  std::lock_guard<std::mutex> cl(commit_mu_);
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    seq = ++next_commit_seq_;
+  }
+  if (stamp) stamp(seq);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    last_committed_seq_ = seq;
+    active_.erase(xid);
+  }
+  finished_cv_.notify_all();
+  return seq;
+}
+
+void TxnManager::Abort(XactId xid) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    active_.erase(xid);
+  }
+  finished_cv_.notify_all();
+}
+
+uint64_t TxnManager::LastCommittedSeq() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return last_committed_seq_;
+}
+
+uint64_t TxnManager::OldestActiveSnapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (const auto& [xid, t] : active_) {
+    oldest = std::min(oldest, t.snapshot_seq);
+  }
+  return oldest;
+}
+
+std::vector<XactId> TxnManager::ActiveSerializableRW() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<XactId> out;
+  for (const auto& [xid, t] : active_) {
+    if (t.serializable_rw) out.push_back(xid);
+  }
+  return out;
+}
+
+bool TxnManager::AnyActiveSerializableRW() const {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [xid, t] : active_) {
+    if (t.serializable_rw) return true;
+  }
+  return false;
+}
+
+void TxnManager::WaitForFinish(const std::vector<XactId>& xids) {
+  std::unique_lock<std::mutex> l(mu_);
+  finished_cv_.wait(l, [&] {
+    for (XactId x : xids) {
+      if (active_.count(x)) return false;
+    }
+    return true;
+  });
+}
+
+uint64_t TxnManager::next_xid() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return next_xid_;
+}
+
+}  // namespace pgssi::txn

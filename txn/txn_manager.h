@@ -1,0 +1,67 @@
+// Transaction manager: xid assignment, commit-sequence-based snapshots,
+// and the active-transaction registry used for SIREAD cleanup and the
+// Section 4 safe-snapshot (DEFERRABLE) machinery.
+//
+// Snapshots are commit sequence numbers: a transaction beginning at
+// snapshot S sees exactly the versions stamped with commit_seq <= S.
+// Commit stamping and snapshot publication are serialized so a published
+// sequence number never precedes the visibility of its versions.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pgssi::txn {
+
+class TxnManager {
+ public:
+  struct BeginResult {
+    XactId xid;
+    uint64_t snapshot_seq;
+  };
+
+  /// Registers a new transaction. `serializable_rw` marks transactions
+  /// that participate in SSI as potential writers (the set a DEFERRABLE
+  /// read-only transaction must wait out).
+  BeginResult Begin(bool serializable_rw);
+
+  /// Commits `xid`: assigns the next commit sequence number, runs `stamp`
+  /// (which writes commit_seq into the transaction's versions) while
+  /// holding the commit lock, then publishes the sequence and wakes
+  /// waiters. Returns the assigned sequence.
+  uint64_t Commit(XactId xid, const std::function<void(uint64_t)>& stamp);
+
+  void Abort(XactId xid);
+
+  uint64_t LastCommittedSeq() const;
+  /// Smallest snapshot among active transactions; UINT64_MAX when none.
+  uint64_t OldestActiveSnapshot() const;
+  std::vector<XactId> ActiveSerializableRW() const;
+  bool AnyActiveSerializableRW() const;
+  /// Blocks until none of `xids` is active.
+  void WaitForFinish(const std::vector<XactId>& xids);
+
+  uint64_t next_xid() const;
+
+ private:
+  struct ActiveTxn {
+    uint64_t snapshot_seq;
+    bool serializable_rw;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable finished_cv_;
+  std::mutex commit_mu_;  // serializes stamp + publish
+  XactId next_xid_ = 1;
+  uint64_t last_committed_seq_ = 0;
+  uint64_t next_commit_seq_ = 0;
+  std::unordered_map<XactId, ActiveTxn> active_;
+};
+
+}  // namespace pgssi::txn

@@ -1,0 +1,37 @@
+// Monotonic clock helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace pgssi {
+
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simulated I/O stall (EngineConfig::simulated_io_delay_us). Short delays
+/// spin to keep the distribution tight; longer ones yield to the scheduler.
+inline void SimulatedIoDelay(uint64_t micros) {
+  if (micros == 0) return;
+  if (micros < 50) {
+    const uint64_t until = NowMicros() + micros;
+    while (NowMicros() < until) {
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace pgssi

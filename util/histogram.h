@@ -1,0 +1,64 @@
+// Simple exact histogram (stores samples) for latency reporting in the
+// benches; percentile queries sort lazily.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pgssi {
+
+class Histogram {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+    if (v > max_) max_ = v;
+    if (v < min_ || samples_.size() == 1) min_ = v;
+    sum_ += v;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double max() const { return samples_.empty() ? 0 : max_; }
+  double min() const { return samples_.empty() ? 0 : min_; }
+  double Mean() const {
+    return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  double Median() { return Percentile(50); }
+
+  /// p in [0, 100]; nearest-rank.
+  double Percentile(double p) {
+    if (samples_.empty()) return 0;
+    Sort();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t i = static_cast<size_t>(rank);
+    if (i + 1 >= samples_.size()) return samples_.back();
+    double frac = rank - static_cast<double>(i);
+    return samples_[i] * (1 - frac) + samples_[i + 1] * frac;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+    max_ = 0;
+    min_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+  double max_ = 0;
+  double min_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace pgssi

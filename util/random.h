@@ -1,0 +1,36 @@
+// xorshift64* PRNG: fast, per-thread, deterministic under a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+namespace pgssi {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 1) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). n == 0 returns 0.
+  uint64_t Uniform(uint64_t n) { return n ? Next() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pgssi

@@ -1,0 +1,78 @@
+// Lightweight Status/error-code type used across the engine.
+//
+// Serialization failures (SSI dangerous structures, first-updater-wins
+// write conflicts, S2PL deadlocks) all map to Code::kSerializationFailure,
+// mirroring PostgreSQL's SQLSTATE 40001: the client is expected to retry.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace pgssi {
+
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kSerializationFailure,
+  kBusy,
+  kInternal,
+};
+
+class Status {
+ public:
+  Status() = default;
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(Code::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(Code::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(Code::kInvalidArgument, std::move(m));
+  }
+  static Status SerializationFailure(std::string m) {
+    return Status(Code::kSerializationFailure, std::move(m));
+  }
+  static Status Busy(std::string m) { return Status(Code::kBusy, std::move(m)); }
+  static Status Internal(std::string m) {
+    return Status(Code::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  bool IsSerializationFailure() const {
+    return code_ == Code::kSerializationFailure;
+  }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kNotFound:
+        return "NotFound: " + msg_;
+      case Code::kAlreadyExists:
+        return "AlreadyExists: " + msg_;
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + msg_;
+      case Code::kSerializationFailure:
+        return "SerializationFailure: " + msg_;
+      case Code::kBusy:
+        return "Busy: " + msg_;
+      case Code::kInternal:
+        return "Internal: " + msg_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+}  // namespace pgssi

@@ -1,0 +1,17 @@
+// Basic identifier types shared by every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace pgssi {
+
+using TableId = uint32_t;     // also the SIREAD "relation" id
+using RelationId = uint32_t;  // alias used by the lock manager
+using PageId = uint64_t;      // B+-tree leaf id; SIREAD page granularity
+using TupleId = uint64_t;     // index into a table's tuple-chain store
+using XactId = uint64_t;      // transaction id assigned by TxnManager
+
+inline constexpr TableId kInvalidTable = 0;
+inline constexpr XactId kInvalidXact = 0;
+
+}  // namespace pgssi

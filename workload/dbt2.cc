@@ -1,0 +1,140 @@
+#include "workload/dbt2.h"
+
+#include <cstdio>
+
+namespace pgssi::workload {
+
+namespace {
+std::string WKey(uint32_t w) {
+  char b[16];
+  std::snprintf(b, sizeof(b), "%04u", w);
+  return b;
+}
+std::string DKey(uint32_t w, uint32_t d) {
+  char b[24];
+  std::snprintf(b, sizeof(b), "%04u:%02u", w, d);
+  return b;
+}
+std::string SKey(uint32_t w, uint32_t i) {
+  char b[24];
+  std::snprintf(b, sizeof(b), "%04u:%04u", w, i);
+  return b;
+}
+}  // namespace
+
+Dbt2::Dbt2(Database* db, const Dbt2Config& cfg) : db_(db), cfg_(cfg) {}
+
+Status Dbt2::Load() {
+  Status st;
+  if (!(st = db_->CreateTable("warehouse", &warehouse_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+  if (!(st = db_->CreateTable("district", &district_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+  if (!(st = db_->CreateTable("stock", &stock_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+  if (!(st = db_->CreateTable("orders", &orders_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+
+  for (uint32_t w = 1; w <= cfg_.warehouses; w++) {
+    auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+    st = txn->Put(warehouse_, WKey(w), "ytd=0");
+    if (!st.ok()) return st;
+    for (uint32_t d = 1; d <= cfg_.districts_per_warehouse; d++) {
+      st = txn->Put(district_, DKey(w, d), "1");  // next order id
+      if (!st.ok()) return st;
+    }
+    for (uint32_t i = 1; i <= cfg_.stock_per_warehouse; i++) {
+      st = txn->Put(stock_, SKey(w, i), "100");
+      if (!st.ok()) return st;
+    }
+    st = txn->Commit();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status Dbt2::RunOne(Random& rng) {
+  return rng.Bernoulli(cfg_.read_only_fraction) ? RunStockLevel(rng)
+                                                : RunNewOrder(rng);
+}
+
+Status Dbt2::RunNewOrder(Random& rng) {
+  auto txn = db_->Begin({.isolation = cfg_.isolation});
+  const uint32_t w = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.warehouses));
+  const uint32_t d =
+      1 + static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
+  std::string v;
+  Status st = txn->Get(warehouse_, WKey(w), &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  st = txn->Get(district_, DKey(w, d), &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  const uint64_t oid = std::stoull(v);
+  st = txn->Put(district_, DKey(w, d), std::to_string(oid + 1));
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  // Order lines: read-modify-write a handful of stock rows.
+  for (int line = 0; line < 5; line++) {
+    const uint32_t item =
+        1 + static_cast<uint32_t>(rng.Uniform(cfg_.stock_per_warehouse));
+    st = txn->Get(stock_, SKey(w, item), &v);
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
+    }
+    uint64_t qty = std::stoull(v);
+    qty = qty > 10 ? qty - 10 : qty + 91;  // restock when low, as TPC-C does
+    st = txn->Put(stock_, SKey(w, item), std::to_string(qty));
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
+    }
+  }
+  char okey[32];
+  std::snprintf(okey, sizeof(okey), "%04u:%02u:%08llu", w, d,
+                static_cast<unsigned long long>(oid));
+  st = txn->Insert(orders_, okey, "order");
+  if (!st.ok() && st.code() != Code::kAlreadyExists) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status Dbt2::RunStockLevel(Random& rng) {
+  auto txn = db_->Begin({.isolation = cfg_.isolation, .read_only = true});
+  const uint32_t w = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.warehouses));
+  const uint32_t d =
+      1 + static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
+  std::string v;
+  Status st = txn->Get(district_, DKey(w, d), &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  // Count low-stock items over a 20-item window.
+  const uint32_t lo =
+      1 + static_cast<uint32_t>(rng.Uniform(
+              cfg_.stock_per_warehouse > 20 ? cfg_.stock_per_warehouse - 20
+                                            : 1));
+  uint64_t n = 0;
+  st = txn->Count(stock_, SKey(w, lo), SKey(w, lo + 19), &n);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+}  // namespace pgssi::workload

@@ -1,0 +1,45 @@
+// DBT-2++ stub: a TPC-C-like order-entry mix, parameterized by the
+// fraction of read-only transactions, as used in the paper's Figure 5
+// experiments. Read-write transactions are a simplified New-Order
+// (read warehouse + district, bump the district order counter, touch a
+// handful of stock rows, insert an order); read-only transactions are a
+// simplified Stock-Level (read district, scan a stock range).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/transaction_handle.h"
+#include "util/random.h"
+
+namespace pgssi::workload {
+
+struct Dbt2Config {
+  uint32_t warehouses = 16;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t stock_per_warehouse = 100;
+  double read_only_fraction = 0.0;
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+};
+
+class Dbt2 {
+ public:
+  Dbt2(Database* db, const Dbt2Config& cfg);
+
+  Status Load();
+  /// One transaction from the configured mix.
+  Status RunOne(Random& rng);
+
+ private:
+  Status RunNewOrder(Random& rng);
+  Status RunStockLevel(Random& rng);
+
+  Database* db_;
+  Dbt2Config cfg_;
+  TableId warehouse_ = kInvalidTable;
+  TableId district_ = kInvalidTable;
+  TableId stock_ = kInvalidTable;
+  TableId orders_ = kInvalidTable;
+};
+
+}  // namespace pgssi::workload

@@ -1,0 +1,47 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace pgssi::workload {
+
+DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
+                              int threads, double seconds) {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> errors{0};
+  const uint64_t start = NowMicros();
+  const uint64_t deadline =
+      start + static_cast<uint64_t>(seconds * 1e6);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; i++) {
+    workers.emplace_back([&, i] {
+      Random rng(0x9E3779B9u * static_cast<uint64_t>(i + 1) + 1);
+      while (NowMicros() < deadline) {
+        Status st = fn(i, rng);
+        if (st.ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else if (st.IsSerializationFailure()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  DriverResult r;
+  r.committed = committed.load();
+  r.serialization_failures = failures.load();
+  r.other_errors = errors.load();
+  r.seconds = static_cast<double>(NowMicros() - start) / 1e6;
+  return r;
+}
+
+}  // namespace pgssi::workload

@@ -1,0 +1,38 @@
+// Fixed-duration multi-threaded workload driver used by all the figure
+// benches: runs a per-transaction closure on N threads for a wall-clock
+// window and aggregates commit/serialization-failure counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pgssi::workload {
+
+struct DriverResult {
+  uint64_t committed = 0;
+  uint64_t serialization_failures = 0;
+  uint64_t other_errors = 0;
+  double seconds = 0;
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
+  }
+  double FailureRate() const {
+    uint64_t attempts = committed + serialization_failures;
+    return attempts > 0
+               ? static_cast<double>(serialization_failures) /
+                     static_cast<double>(attempts)
+               : 0;
+  }
+};
+
+/// Runs `fn(thread_index, rng)` in a loop on `threads` threads for
+/// `seconds` of wall clock. fn returns OK for a committed transaction,
+/// kSerializationFailure for an aborted-and-retryable one.
+DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
+                              int threads, double seconds);
+
+}  // namespace pgssi::workload

@@ -1,0 +1,166 @@
+#include "workload/rubis.h"
+
+#include <cstdio>
+
+namespace pgssi::workload {
+
+namespace {
+std::string ItemKey(uint32_t i) {
+  char b[16];
+  std::snprintf(b, sizeof(b), "%04u", i);
+  return b;
+}
+std::string EpochPrefix(uint32_t i, uint64_t epoch) {
+  char b[32];
+  std::snprintf(b, sizeof(b), "%04u:%06llu:", i,
+                static_cast<unsigned long long>(epoch));
+  return b;
+}
+std::string BidKey(uint32_t i, uint64_t epoch, uint64_t uniq) {
+  char b[48];
+  std::snprintf(b, sizeof(b), "%04u:%06llu:%016llx", i,
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(uniq));
+  return b;
+}
+std::string ClosingKey(uint32_t i, uint64_t epoch) {
+  char b[32];
+  std::snprintf(b, sizeof(b), "%04u:%06llu", i,
+                static_cast<unsigned long long>(epoch));
+  return b;
+}
+}  // namespace
+
+Rubis::Rubis(Database* db, const RubisConfig& cfg) : db_(db), cfg_(cfg) {}
+
+Status Rubis::Load() {
+  Status st;
+  if (!(st = db_->CreateTable("items", &items_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+  if (!(st = db_->CreateTable("bids", &bids_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+  if (!(st = db_->CreateTable("closings", &closings_)).ok() &&
+      st.code() != Code::kAlreadyExists)
+    return st;
+  auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  for (uint32_t i = 1; i <= cfg_.items; i++) {
+    st = txn->Put(items_, ItemKey(i), "0");  // current epoch
+    if (!st.ok()) return st;
+  }
+  return txn->Commit();
+}
+
+Status Rubis::RunOne(Random& rng) {
+  double r = rng.NextDouble();
+  if (r < cfg_.browse_fraction) return RunBrowse(rng);
+  if (r < cfg_.browse_fraction + cfg_.bid_fraction) return RunBid(rng);
+  return RunClose(rng);
+}
+
+Status Rubis::RunBrowse(Random& rng) {
+  auto txn = db_->Begin({.isolation = cfg_.isolation, .read_only = true});
+  const uint32_t item = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.items));
+  std::string v;
+  Status st = txn->Get(items_, ItemKey(item), &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  const uint64_t epoch = std::stoull(v);
+  std::vector<std::pair<std::string, std::string>> rows;
+  st = txn->Scan(bids_, EpochPrefix(item, epoch),
+                 EpochPrefix(item, epoch) + "\x7f", &rows);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status Rubis::RunBid(Random& rng) {
+  auto txn = db_->Begin({.isolation = cfg_.isolation});
+  const uint32_t item = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.items));
+  std::string v;
+  Status st = txn->Get(items_, ItemKey(item), &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  const uint64_t epoch = std::stoull(v);
+  const uint64_t amount = 1 + rng.Uniform(1000);
+  st = txn->Insert(bids_, BidKey(item, epoch, rng.Next()),
+                   std::to_string(amount));
+  if (!st.ok() && st.code() != Code::kAlreadyExists) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status Rubis::RunClose(Random& rng) {
+  // Close the item's current epoch: record the winning amount, then
+  // reopen at the next epoch. Writes (closings, items) are disjoint from
+  // a bidder's write (bids) — under SI this races with a concurrent bid.
+  auto txn = db_->Begin({.isolation = cfg_.isolation});
+  const uint32_t item = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.items));
+  std::string v;
+  Status st = txn->Get(items_, ItemKey(item), &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  const uint64_t epoch = std::stoull(v);
+  std::vector<std::pair<std::string, std::string>> rows;
+  st = txn->Scan(bids_, EpochPrefix(item, epoch),
+                 EpochPrefix(item, epoch) + "\x7f", &rows);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  uint64_t max_bid = 0;
+  for (const auto& [k, amount] : rows) {
+    uint64_t a = std::stoull(amount);
+    if (a > max_bid) max_bid = a;
+  }
+  st = txn->Put(closings_, ClosingKey(item, epoch), std::to_string(max_bid));
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  st = txn->Put(items_, ItemKey(item), std::to_string(epoch + 1));
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status Rubis::CheckConsistency(bool* ok) {
+  if (ok) *ok = true;
+  auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  std::vector<std::pair<std::string, std::string>> closings;
+  Status st = txn->Scan(closings_, "", "\x7f", &closings);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  for (const auto& [key, winner] : closings) {
+    const uint64_t recorded = std::stoull(winner);
+    std::vector<std::pair<std::string, std::string>> bids;
+    st = txn->Scan(bids_, key + ":", key + ":\x7f", &bids);
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
+    }
+    for (const auto& [bk, amount] : bids) {
+      if (std::stoull(amount) > recorded) {
+        if (ok) *ok = false;
+      }
+    }
+  }
+  return txn->Commit();
+}
+
+}  // namespace pgssi::workload

@@ -1,0 +1,53 @@
+// RUBiS bidding-mix stub (paper Section 8.3 / Figure 6).
+//
+// Items cycle through open/closed "epochs". Bidders read the item header
+// and insert a bid into the current epoch; an auction-close transaction
+// scans the epoch's bids, records the winning amount, and reopens the
+// item at the next epoch. The invariant CheckConsistency verifies is the
+// paper's kind of integrity constraint: every recorded winning amount is
+// >= every bid in that epoch. Under plain SI the close can race a
+// concurrent bid (the close's scan misses it, the bid's snapshot still
+// shows the item open) — a classic write-skew-shaped anomaly, since the
+// two transactions write disjoint keys. SERIALIZABLE must prevent it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/transaction_handle.h"
+#include "util/random.h"
+
+namespace pgssi::workload {
+
+struct RubisConfig {
+  uint32_t items = 64;
+  double browse_fraction = 0.85;  // read-only share, as in the bidding mix
+  double bid_fraction = 0.10;     // remainder is auction-close
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+};
+
+class Rubis {
+ public:
+  Rubis(Database* db, const RubisConfig& cfg);
+
+  Status Load();
+  Status RunOne(Random& rng);
+
+  /// Scans every closing record and verifies no bid in that epoch exceeds
+  /// the recorded winning amount. *ok=false means SI let an anomaly
+  /// through (the paper's point); serializable modes must keep it true.
+  Status CheckConsistency(bool* ok);
+
+ private:
+  Status RunBrowse(Random& rng);
+  Status RunBid(Random& rng);
+  Status RunClose(Random& rng);
+
+  Database* db_;
+  RubisConfig cfg_;
+  TableId items_ = kInvalidTable;
+  TableId bids_ = kInvalidTable;
+  TableId closings_ = kInvalidTable;
+};
+
+}  // namespace pgssi::workload

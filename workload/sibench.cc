@@ -1,0 +1,71 @@
+#include "workload/sibench.h"
+
+#include <cstdio>
+
+namespace pgssi::workload {
+
+Sibench::Sibench(Database* db, uint64_t rows) : db_(db), rows_(rows) {}
+
+std::string Sibench::KeyFor(uint64_t row) const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "k%08llu",
+                static_cast<unsigned long long>(row));
+  return buf;
+}
+
+Status Sibench::Load() {
+  Status st = db_->CreateTable("sibench", &table_);
+  if (!st.ok() && st.code() != Code::kAlreadyExists) return st;
+  const uint64_t batch = 1000;
+  for (uint64_t base = 0; base < rows_; base += batch) {
+    auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+    for (uint64_t r = base; r < rows_ && r < base + batch; r++) {
+      st = txn->Put(table_, KeyFor(r), "0");
+      if (!st.ok()) return st;
+    }
+    st = txn->Commit();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status Sibench::RunUpdate(Random& rng, IsolationLevel iso) {
+  auto txn = db_->Begin({.isolation = iso});
+  const std::string key = KeyFor(rng.Uniform(rows_));
+  std::string v;
+  Status st = txn->Get(table_, key, &v);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  st = txn->Put(table_, key, std::to_string(std::stoull(v) + 1));
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+Status Sibench::RunQuery(Random& rng, IsolationLevel iso) {
+  (void)rng;
+  auto txn = db_->Begin({.isolation = iso, .read_only = true});
+  std::vector<std::pair<std::string, std::string>> rows;
+  Status st = txn->Scan(table_, KeyFor(0), KeyFor(rows_), &rows);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  uint64_t min_val = ~0ULL;
+  for (const auto& [k, v] : rows) {
+    uint64_t x = std::stoull(v);
+    if (x < min_val) min_val = x;
+  }
+  (void)min_val;
+  return txn->Commit();
+}
+
+Status Sibench::RunMixed(Random& rng, IsolationLevel iso) {
+  return rng.Bernoulli(0.5) ? RunUpdate(rng, iso) : RunQuery(rng, iso);
+}
+
+}  // namespace pgssi::workload

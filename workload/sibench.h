@@ -1,0 +1,37 @@
+// SIBENCH (Cahill et al.): the simplest workload that exhibits SI
+// anomalies. One table of N rows; update transactions modify one random
+// row, query transactions read every row and report the minimum value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "db/transaction_handle.h"
+#include "util/random.h"
+
+namespace pgssi::workload {
+
+class Sibench {
+ public:
+  Sibench(Database* db, uint64_t rows);
+
+  Status Load();
+
+  /// One update transaction: read-modify-write a random row.
+  Status RunUpdate(Random& rng, IsolationLevel iso);
+  /// One query transaction (declared read-only): scan all rows, find min.
+  Status RunQuery(Random& rng, IsolationLevel iso);
+  /// 50/50 update/query mix.
+  Status RunMixed(Random& rng, IsolationLevel iso);
+
+  TableId table() const { return table_; }
+
+ private:
+  std::string KeyFor(uint64_t row) const;
+
+  Database* db_;
+  uint64_t rows_;
+  TableId table_ = kInvalidTable;
+};
+
+}  // namespace pgssi::workload
