@@ -269,9 +269,9 @@ int Transaction::VisibleVersion(const Database::TupleChain& chain) const {
 
 void Transaction::TrackRead(Database::Table* tbl,
                             const Database::TupleChain& chain,
-                            int visible_idx) {
+                            int visible_idx, PageId page, uint32_t slot) {
   if (!sxact_ || sxact_->safe_snapshot) return;
-  db_->siread_.AcquireTuple(sxact_, tbl->id, chain.page, chain.slot);
+  db_->siread_.AcquireTuple(sxact_, tbl->id, page, slot);
   // Any version newer than the one we read is an rw-antidependency:
   // we (reader) -rw-> its writer.
   const auto& vs = chain.versions;
@@ -333,7 +333,7 @@ Status Transaction::Get(TableId table, const std::string& key,
   }
   const Database::TupleChain& chain = tbl->tuples[tid];
   int vi = VisibleVersion(chain);
-  TrackRead(tbl, chain, vi);
+  TrackRead(tbl, chain, vi, page, slot);
   if (vi < 0 || chain.versions[static_cast<size_t>(vi)].deleted) {
     return Status::NotFound("key " + key);
   }
@@ -408,12 +408,8 @@ Status Transaction::ScanInternal(
                     const Database::TupleChain& chain = tbl->tuples[tid];
                     int vi = VisibleVersion(chain);
                     if (track) {
-                      if (next_key_mode) {
-                        db_->siread_.AcquireTuple(sxact_, table, page, slot);
-                      } else {
-                        pages.insert(page);
-                      }
-                      TrackRead(tbl, chain, vi);
+                      if (!next_key_mode) pages.insert(page);
+                      TrackRead(tbl, chain, vi, page, slot);
                     }
                     if (vi >= 0 &&
                         !chain.versions[static_cast<size_t>(vi)].deleted) {
@@ -533,12 +529,15 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
       return Status::NotFound("key " + key);
     }
     if (sxact_) {
-      auto probe = db_->siread_.ProbeHeapWrite(table, chain.page, chain.slot);
+      // Probe at the index-reported coordinates: readers lock the granule
+      // the index reports, and a leaf split may have moved the entry since
+      // the chain was created.
+      auto probe = db_->siread_.ProbeHeapWrite(table, page, slot);
       for (XactId h : probe.holder_xids) {
         if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
       }
       if (db_->opts_.engine.enable_write_supersedes_siread) {
-        db_->siread_.ReleaseOwnTuple(sxact_, table, chain.page, chain.slot);
+        db_->siread_.ReleaseOwnTuple(sxact_, table, page, slot);
       }
       if (db_->siread_.Doomed(sxact_)) {
         l.unlock();
@@ -597,12 +596,8 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
     }
   }
   TupleId tid2 = tbl->tuples.size();
-  tbl->tuples.push_back(Database::TupleChain{key, 0, 0, {}});
-  PageId npage;
-  uint32_t nslot;
-  tbl->index.Insert(key, tid2, &npage, &nslot);
-  tbl->tuples[tid2].page = npage;
-  tbl->tuples[tid2].slot = nslot;
+  tbl->tuples.push_back(Database::TupleChain{key, {}});
+  tbl->index.Insert(key, tid2, /*page=*/nullptr);
   tbl->tuples[tid2].versions.push_back(
       Database::Version{value, xid_, 0, false});
   writes_.push_back(WriteRec{table, tid2});

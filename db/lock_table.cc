@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <functional>
 
 #include "util/clock.h"
 
@@ -27,31 +26,57 @@ void LockTable::Blockers(const Entry& e, XactId xid,
 }
 
 bool LockTable::IsDeadlockVictim(XactId self) const {
-  // DFS from self over waits_for_; if we come back to self, the cycle is a
-  // deadlock. Victim = max xid on the cycle (deterministic, so exactly one
-  // member of a 2-cycle aborts and the other proceeds).
-  std::vector<XactId> stack{self};
-  std::vector<XactId> path;
-  std::unordered_set<XactId> visited;
-  // Iterative DFS tracking the path to recover cycle membership.
-  std::function<bool(XactId)> dfs = [&](XactId cur) -> bool {
+  // self is deadlocked iff it lies on a waits_for_ cycle, i.e. some node is
+  // both reachable from self and reaches self. Intersecting the forward and
+  // backward reachable sets yields the full strongly connected component
+  // (every node on ANY cycle through self), not just the one path a DFS
+  // happens to find first — so every member of a deadlock computes the same
+  // membership. Victim = max xid in the component: deterministic, exactly
+  // one member aborts and the others proceed.
+  std::unordered_set<XactId> fwd;  // reachable from self (excluding self)
+  std::vector<XactId> stack;
+  auto expand = [&](XactId cur) {
     auto it = waits_for_.find(cur);
-    if (it == waits_for_.end()) return false;
+    if (it == waits_for_.end()) return;
     for (XactId b : it->second) {
-      if (b == self) return true;
-      if (visited.insert(b).second) {
-        path.push_back(b);
-        if (dfs(b)) return true;
-        path.pop_back();
+      if (b != self && fwd.insert(b).second) stack.push_back(b);
+    }
+  };
+  expand(self);
+  while (!stack.empty()) {
+    XactId cur = stack.back();
+    stack.pop_back();
+    expand(cur);
+  }
+  if (fwd.empty()) return false;
+
+  // Backward set: grow "reaches self" until a fixpoint (wait-for graphs are
+  // tiny — a handful of blocked xacts — so the quadratic sweep is cheap).
+  std::unordered_set<XactId> bwd{self};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [x, succs] : waits_for_) {
+      if (bwd.count(x)) continue;
+      for (XactId b : succs) {
+        if (bwd.count(b)) {
+          bwd.insert(x);
+          grew = true;
+          break;
+        }
       }
     }
-    return false;
-  };
-  visited.insert(self);
-  if (!dfs(self)) return false;
+  }
+
   XactId victim = self;
-  for (XactId x : path) victim = std::max(victim, x);
-  return victim == self;
+  bool on_cycle = false;
+  for (XactId x : fwd) {
+    if (bwd.count(x)) {
+      on_cycle = true;
+      victim = std::max(victim, x);
+    }
+  }
+  return on_cycle && victim == self;
 }
 
 Status LockTable::Acquire(XactId xid, TableId table, const std::string& key,

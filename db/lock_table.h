@@ -9,9 +9,10 @@
 //    coarse table-gap lock, all held to commit — the strict two-phase
 //    locking baseline of the paper's figures.
 //
-// Deadlocks are detected by a DFS over the wait-for graph, run by each
-// blocked locker on its wakeup ticks; the victim is the youngest (highest
-// xid) transaction on the cycle, which returns kSerializationFailure.
+// Deadlocks are detected by each blocked locker on its wakeup ticks: it
+// computes its strongly connected component of the wait-for graph, which
+// covers every cycle it participates in; the victim is the youngest
+// (highest xid) member, which returns kSerializationFailure.
 #pragma once
 
 #include <condition_variable>

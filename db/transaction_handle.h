@@ -57,10 +57,12 @@ class Database {
     uint64_t commit_seq;  // 0 while uncommitted
     bool deleted;
   };
+  // The heap keeps no (page, slot) copy: the index owns granule
+  // coordinates, and every SIREAD acquire/probe uses what the index
+  // reports for that access — a stored copy would go stale when a leaf
+  // split relocates the entry.
   struct TupleChain {
     std::string key;
-    PageId page;
-    uint32_t slot;
     std::vector<Version> versions;  // oldest first
   };
   struct Table {
@@ -140,8 +142,11 @@ class Transaction {
   // Picks the version visible to this txn; returns index into the chain or
   // -1. Also reports whether any *later* (invisible) version exists.
   int VisibleVersion(const Database::TupleChain& chain) const;
+  // `page`/`slot` must be the granule coordinates the index reported for
+  // this access, so SIREAD locks land where writers will probe them even
+  // after leaf splits relocate entries.
   void TrackRead(Database::Table* tbl, const Database::TupleChain& chain,
-                 int visible_idx);
+                 int visible_idx, PageId page, uint32_t slot);
   // SIREAD-lock the gap `key` falls into (next-key tuple or leaf page,
   // per EngineConfig::index_gap_locking). Caller holds the table latch.
   void AcquireGapLock(Database::Table* tbl, const std::string& key);

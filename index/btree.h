@@ -18,8 +18,11 @@ namespace pgssi {
 
 class BTree {
  public:
-  // Called after a leaf split: SIREAD locks on (old_page, slot) for each
-  // moved slot — and page locks on old_page — must also cover new_page.
+  // Called after a leaf split, while the caller still holds whatever latch
+  // serializes index writes: SIREAD locks on (old_page, slot) for each
+  // moved slot must be transferred to (new_page, slot) — slot numbers
+  // travel with their entries — and page locks on old_page must also
+  // cover new_page.
   using SplitListener = std::function<void(
       PageId old_page, PageId new_page, const std::vector<uint32_t>& moved_slots)>;
 

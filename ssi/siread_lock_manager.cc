@@ -182,9 +182,21 @@ void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
   for (uint32_t s : moved_slots) {
     auto it = tuple_locks_.find({rel, old_page, s});
     if (it == tuple_locks_.end()) continue;
-    for (SerializableXact* h : it->second) {
+    // Move, don't duplicate: the entry now lives only on the new page and
+    // writers probe the index-reported coordinates, so nothing consults
+    // the old granule again; a retained copy would only bloat holders'
+    // bookkeeping and drift from tuple_locks_.
+    auto holders = std::move(it->second);
+    tuple_locks_.erase(it);
+    for (SerializableXact* h : holders) {
       tuple_locks_[{rel, new_page, s}].insert(h);
       h->held_tuples[{rel, new_page}].push_back(s);
+      auto ht = h->held_tuples.find({rel, old_page});
+      if (ht != h->held_tuples.end()) {
+        auto& slots = ht->second;
+        slots.erase(std::remove(slots.begin(), slots.end(), s), slots.end());
+        if (slots.empty()) h->held_tuples.erase(ht);
+      }
     }
   }
   auto p = page_locks_.find({rel, old_page});

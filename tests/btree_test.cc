@@ -105,19 +105,17 @@ TEST(BTreeTest, SplitListenerReportsMovedSlots) {
   EXPECT_GT(splits, 0);
   EXPECT_NE(last_old, last_new);
   EXPECT_FALSE(last_moved.empty());
-  // Moved slots must now be found on the new page.
-  uint32_t slot;
-  bool found_moved = false;
+  // Every reported moved slot must now be found on the new page.
+  size_t found_moved = 0;
   t.Scan(K(0), K(9999), [&](const std::string&, TupleId, PageId p, uint32_t s) {
     if (p == last_new) {
       for (uint32_t m : last_moved) {
-        if (m == s) found_moved = true;
+        if (m == s) found_moved++;
       }
     }
-    (void)slot;
     return true;
   });
-  EXPECT_TRUE(found_moved);
+  EXPECT_EQ(found_moved, last_moved.size());
 }
 
 TEST(BTreeTest, PageForAndNextKey) {

@@ -310,6 +310,43 @@ TEST_F(S2plTest, WriteSkewPreventedByDeadlockVictim) {
   EXPECT_LE(failures, 1);
 }
 
+TEST_F(S2plTest, ThreeWayDeadlockCycleAbortsExactlyOneVictim) {
+  // a -> b -> c -> a: each txn locks its own key, then (once all three
+  // hold their first lock, so the cycle is certain) requests the next
+  // one. The detector must see the full cycle — not time out — and every
+  // member must agree on the same single victim: exactly one aborts with
+  // a serialization failure and the other two commit.
+  {
+    auto w = db_->Begin();
+    ASSERT_TRUE(w->Put(t_, "c", "0").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  const std::string keys[3] = {"a", "b", "c"};
+  std::atomic<int> holding{0};
+  std::atomic<int> commits{0}, failures{0};
+  auto worker = [&](int i) {
+    auto txn = BeginSer();
+    Status st = txn->Put(t_, keys[i], "w");
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    holding++;
+    while (holding < 3) std::this_thread::yield();
+    st = txn->Put(t_, keys[(i + 1) % 3], "w");
+    if (st.ok()) st = txn->Commit();
+    if (st.ok()) {
+      commits++;
+    } else {
+      EXPECT_TRUE(st.IsSerializationFailure()) << st.ToString();
+      failures++;
+    }
+  };
+  std::thread th0(worker, 0), th1(worker, 1), th2(worker, 2);
+  th0.join();
+  th1.join();
+  th2.join();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(commits, 2);
+}
+
 TEST_F(S2plTest, ScanBlocksInsertPhantom) {
   // A scanning S2PL txn holds the table-gap lock: a concurrent insert
   // must block until the scanner commits (no phantoms).

@@ -105,9 +105,16 @@ TEST(SireadLockManagerTest, PageSplitTransfersLocks) {
   // Leaf 1 splits; slot 5 moves to the new leaf 2.
   mgr.OnPageSplit(1, /*old_page=*/1, /*new_page=*/2, {5});
 
-  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 2, 5), 11));  // tuple lock moved
-  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 2, 9), 12));  // page lock duplicated
-  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 1, 5), 11));  // old granule retained
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 2, 5), 11));   // tuple lock moved
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 2, 9), 12));   // page lock duplicated
+  // The tuple lock moved with its entry — not duplicated — so the old
+  // granule no longer answers for the reader, and bookkeeping stays in
+  // sync with tuple_locks_ (release after the split frees everything).
+  EXPECT_FALSE(Holds(mgr.ProbeHeapWrite(1, 1, 5), 11));
+  EXPECT_TRUE(Holds(mgr.ProbeHeapWrite(1, 1, 5), 12));   // old page lock kept
+  EXPECT_EQ(mgr.TupleLockCount(), 1u);
+  EXPECT_TRUE(mgr.HoldsTupleLock(&reader, 1, 2, 5));
+  EXPECT_FALSE(mgr.HoldsTupleLock(&reader, 1, 1, 5));
 }
 
 TEST(SireadLockManagerTest, AbortReleasesEverything) {

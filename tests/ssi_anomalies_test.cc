@@ -4,6 +4,7 @@
 // participating transactions with a serialization failure.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "db/transaction_handle.h"
@@ -268,6 +269,84 @@ TEST_F(SsiAnomaliesTest, ReceiptReportPermittedUnderRepeatableRead) {
   // SI allows the late insert: the anomaly the paper opens with.
   ASSERT_TRUE(n->Insert(receipts, "7:001", "25").ok());
   EXPECT_TRUE(n->Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Regression (Section 5.2.2): leaf splits relocate tuples, so SIREAD
+// acquisition and heap-write probes must meet at the tuple's *current*
+// (page, slot) granule. With stale coordinates, a writer probing the old
+// page misses the reader's lock, the rw-antidependency edge is lost, and
+// write skew silently commits under SERIALIZABLE.
+// ---------------------------------------------------------------------------
+
+// Seeds "zz_a"/"zz_b" (the highest keys, so every split of their leaf
+// moves them) and then enough low keys that, at fanout 4, the leaf first
+// holding the pair splits repeatedly.
+void SeedAcrossLeafSplits(Database* db, TableId t) {
+  auto w = db->Begin();
+  EXPECT_TRUE(w->Put(t, "zz_a", "1").ok());
+  EXPECT_TRUE(w->Put(t, "zz_b", "1").ok());
+  for (int i = 0; i < 50; i++) {
+    char k[16];
+    std::snprintf(k, sizeof(k), "k%04d", i);
+    EXPECT_TRUE(w->Put(t, k, "v").ok());
+  }
+  EXPECT_TRUE(w->Commit().ok());
+}
+
+TEST(SsiLeafSplitTest, WriteSkewStillAbortedAfterLeafSplits) {
+  DatabaseOptions opts;
+  opts.engine.btree_fanout = 4;  // force deep splits on a small keyset
+  auto db = Database::Open(opts);
+  TableId t;
+  ASSERT_TRUE(db->CreateTable("split_ws", &t).ok());
+  SeedAcrossLeafSplits(db.get(), t);
+
+  auto t1 = db->Begin({.isolation = IsolationLevel::kSerializable});
+  auto t2 = db->Begin({.isolation = IsolationLevel::kSerializable});
+  std::string v;
+  ASSERT_TRUE(t1->Get(t, "zz_a", &v).ok());
+  ASSERT_TRUE(t1->Get(t, "zz_b", &v).ok());
+  ASSERT_TRUE(t2->Get(t, "zz_a", &v).ok());
+  ASSERT_TRUE(t2->Get(t, "zz_b", &v).ok());
+  Status s1 = t1->Put(t, "zz_a", "0");
+  if (s1.ok()) s1 = t1->Commit();
+  Status s2 = t2->Put(t, "zz_b", "0");
+  if (s2.ok()) s2 = t2->Commit();
+
+  EXPECT_NE(s1.ok(), s2.ok()) << "s1=" << s1.ToString()
+                              << " s2=" << s2.ToString();
+  const Status& failed = s1.ok() ? s2 : s1;
+  EXPECT_EQ(failed.code(), Code::kSerializationFailure) << failed.ToString();
+}
+
+TEST(SsiLeafSplitTest, ScanWriteSkewStillAbortedAfterLeafSplitsNextKeyMode) {
+  // Same shape via range scans under next-key (tuple-granularity) gap
+  // locking, where no page-level lock can paper over stale tuple granules.
+  DatabaseOptions opts;
+  opts.engine.btree_fanout = 4;
+  opts.engine.index_gap_locking = IndexGapLocking::kNextKey;
+  auto db = Database::Open(opts);
+  TableId t;
+  ASSERT_TRUE(db->CreateTable("split_scan_ws", &t).ok());
+  SeedAcrossLeafSplits(db.get(), t);
+
+  auto t1 = db->Begin({.isolation = IsolationLevel::kSerializable});
+  auto t2 = db->Begin({.isolation = IsolationLevel::kSerializable});
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(t1->Scan(t, "zz_a", "zz_b", &rows).ok());
+  EXPECT_EQ(rows.size(), 2u);
+  ASSERT_TRUE(t2->Scan(t, "zz_a", "zz_b", &rows).ok());
+  EXPECT_EQ(rows.size(), 2u);
+  Status s1 = t1->Put(t, "zz_a", "0");
+  if (s1.ok()) s1 = t1->Commit();
+  Status s2 = t2->Put(t, "zz_b", "0");
+  if (s2.ok()) s2 = t2->Commit();
+
+  EXPECT_NE(s1.ok(), s2.ok()) << "s1=" << s1.ToString()
+                              << " s2=" << s2.ToString();
+  const Status& failed = s1.ok() ? s2 : s1;
+  EXPECT_EQ(failed.code(), Code::kSerializationFailure) << failed.ToString();
 }
 
 // The dangerous structure must NOT fire for harmless single rw edges:
