@@ -1,0 +1,81 @@
+// Machine-readable benchmark output: WriteBenchJson("lockmgr", rows)
+// writes BENCH_lockmgr.json into the current working directory so runs
+// accumulate a perf trajectory that scripts (CI, plotting) can diff.
+//
+// Schema:
+//   {
+//     "benchmark": "<name>",
+//     "rows": [
+//       {"series": "...", "threads": N, "ops_per_sec": ..., "abort_rate": ...,
+//        "p50_us": ..., "p99_us": ..., <extra key/value pairs>},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/driver.h"
+
+namespace pgssi::bench {
+
+struct BenchRow {
+  std::string series;  // e.g. "SSI/partitioned" or "SI"
+  int threads = 1;
+  double ops_per_sec = 0;
+  double abort_rate = 0;  // serialization failures / attempts
+  double p50_us = 0;
+  double p99_us = 0;
+  // Additional numeric facts (e.g. {"rows", 1000} or {"partitions", 16}).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Builds a row from a driver run. `r` is non-const because its latency
+/// histogram sorts lazily on percentile queries.
+inline BenchRow RowFromDriver(std::string series, int threads,
+                              workload::DriverResult& r) {
+  BenchRow row;
+  row.series = std::move(series);
+  row.threads = threads;
+  row.ops_per_sec = r.Throughput();
+  row.abort_rate = r.FailureRate();
+  row.p50_us = r.latency_us.Percentile(50);
+  row.p99_us = r.latency_us.Percentile(99);
+  return row;
+}
+
+/// Writes BENCH_<name>.json. Returns false (and prints to stderr) on I/O
+/// failure; benches treat that as non-fatal.
+inline bool WriteBenchJson(const std::string& name,
+                           const std::vector<BenchRow>& rows) {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"rows\": [", name.c_str());
+  for (size_t i = 0; i < rows.size(); i++) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "%s\n    {\"series\": \"%s\", \"threads\": %d, "
+                 "\"ops_per_sec\": %.1f, \"abort_rate\": %.6f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f",
+                 i ? "," : "", r.series.c_str(), r.threads, r.ops_per_sec,
+                 r.abort_rate, r.p50_us, r.p99_us);
+    for (const auto& [k, v] : r.extra) {
+      std::fprintf(f, ", \"%s\": %g", k.c_str(), v);
+    }
+    std::fputc('}', f);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("# wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return ok;
+}
+
+}  // namespace pgssi::bench

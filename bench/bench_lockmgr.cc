@@ -1,169 +1,193 @@
-// Microbenchmarks for the SSI substrate (supporting the Section 8.1 claim
-// that read-dependency tracking costs 10-20% CPU): SIREAD lock
-// acquire/probe/promotion, conflict flagging, B+-tree operations, and the
-// MVCC read path with and without SSI tracking.
-#include <benchmark/benchmark.h>
+// SIREAD lock-manager multicore scaling benchmark.
+//
+// Runs a read-mostly key-value mix (8 point reads per transaction, a
+// write with probability --write-frac, default 10%) on 1/2/4/8/16
+// threads under:
+//   SI               REPEATABLE READ (no SSI tracking — the ceiling)
+//   SSI/partitioned  SERIALIZABLE via SSI, partitioned SIREAD tables
+//                    (EngineConfig::lock_partitions, default 16)
+//   SSI/global-mutex SERIALIZABLE via SSI with lock_partitions=1 — the
+//                    pre-partitioning single-mutex design, kept as an
+//                    honest same-binary A/B baseline
+//   S2PL             SERIALIZABLE via strict two-phase locking
+//
+// Prints a table, reports the 8-thread partitioned-vs-global speedup,
+// and emits machine-readable BENCH_lockmgr.json (see bench_json.h).
+//
+// Flags: --rows=N --write-frac=F --threads=1,2,4,8,16 --partitions=N
+// (--partitions pins the partitioned series' count; the 1-partition
+// baseline always runs for comparison unless --partitions=1).
+// PGSSI_BENCH_SECONDS sets the per-point window (default 1s).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench/bench_json.h"
+#include "bench_common.h"
 #include "db/transaction_handle.h"
-#include "index/btree.h"
-#include "ssi/siread_lock_manager.h"
-#include "txn/txn_manager.h"
-#include "util/random.h"
+#include "workload/driver.h"
 
 namespace {
 
 using namespace pgssi;
+using namespace pgssi::bench;
+using namespace pgssi::workload;
 
-void BM_SireadAcquireTuple(benchmark::State& state) {
-  EngineConfig cfg;
-  cfg.max_locks_per_page = 1u << 30;  // no promotion in this benchmark
-  cfg.max_pages_per_relation = 1u << 30;
-  ssi::SireadLockManager mgr(cfg);
-  ssi::SerializableXact x;
-  uint64_t i = 0;
-  for (auto _ : state) {
-    mgr.AcquireTuple(&x, 1, i / 64, static_cast<uint32_t>(i % 64));
-    i++;
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(i));
+std::string KeyFor(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%010llu",
+                static_cast<unsigned long long>(i));
+  return buf;
 }
-BENCHMARK(BM_SireadAcquireTuple);
 
-void BM_SireadAcquireWithPromotion(benchmark::State& state) {
-  EngineConfig cfg;
-  cfg.max_locks_per_page = 2;
-  cfg.max_pages_per_relation = 16;
-  ssi::SireadLockManager mgr(cfg);
-  ssi::SerializableXact x;
-  uint64_t i = 0;
-  for (auto _ : state) {
-    mgr.AcquireTuple(&x, 1, i / 64, static_cast<uint32_t>(i % 64));
-    i++;
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(i));
-}
-BENCHMARK(BM_SireadAcquireWithPromotion);
+struct Config {
+  uint64_t rows = 8192;
+  double write_frac = 0.10;
+  std::vector<int> threads = {1, 2, 4, 8, 16};
+  uint32_t partitions = kLockPartitions;
+};
 
-void BM_SireadProbeMiss(benchmark::State& state) {
-  EngineConfig cfg;
-  ssi::SireadLockManager mgr(cfg);
-  ssi::SerializableXact x;
-  for (uint32_t s = 0; s < 64; s++) mgr.AcquireTuple(&x, 1, 7, s);
-  uint64_t i = 0;
-  for (auto _ : state) {
-    auto r = mgr.ProbeHeapWrite(1, 100000 + i % 1000, 0);
-    benchmark::DoNotOptimize(r.holder_xids.data());
-    i++;
-  }
-}
-BENCHMARK(BM_SireadProbeMiss);
-
-void BM_SireadProbeHit(benchmark::State& state) {
-  EngineConfig cfg;
-  ssi::SireadLockManager mgr(cfg);
-  ssi::SerializableXact x;
-  for (uint32_t s = 0; s < 8; s++) mgr.AcquireTuple(&x, 1, 7, s);
-  for (auto _ : state) {
-    auto r = mgr.ProbeHeapWrite(1, 7, 3);
-    benchmark::DoNotOptimize(r.holder_xids.data());
-  }
-}
-BENCHMARK(BM_SireadProbeHit);
-
-void BM_BTreeInsert(benchmark::State& state) {
-  BTree t(64);
-  Random rng(1);
-  PageId pg;
-  uint64_t i = 0;
-  for (auto _ : state) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llu",
-                  static_cast<unsigned long long>(rng.Next()));
-    t.Insert(buf, i++, &pg);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(i));
-}
-BENCHMARK(BM_BTreeInsert);
-
-void BM_BTreeLookup(benchmark::State& state) {
-  BTree t(64);
-  PageId pg;
-  for (uint64_t i = 0; i < 100000; i++) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llu",
-                  static_cast<unsigned long long>(i));
-    t.Insert(buf, i, &pg);
-  }
-  Random rng(2);
-  for (auto _ : state) {
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%016llu",
-                  static_cast<unsigned long long>(rng.Uniform(100000)));
-    TupleId head;
-    benchmark::DoNotOptimize(t.Lookup(buf, &head, &pg));
-  }
-}
-BENCHMARK(BM_BTreeLookup);
-
-/// End-to-end read path cost: REPEATABLE READ (no SSI tracking) vs
-/// SERIALIZABLE (SIREAD + conflict flagging). The ratio is the per-read
-/// overhead the paper attributes 10-20% CPU to.
-void ReadPathBench(benchmark::State& state, IsolationLevel iso) {
-  auto db = Database::Open({});
-  TableId t;
-  (void)db->CreateTable("t", &t);
-  {
-    auto txn = db->Begin({.isolation = IsolationLevel::kRepeatableRead});
-    for (int i = 0; i < 1000; i++) {
-      (void)txn->Put(t, "k" + std::to_string(i), "v");
+Status RunReadMostly(Database* db, TableId t, const Config& cfg, Random& rng,
+                     IsolationLevel iso) {
+  auto txn = db->Begin({.isolation = iso});
+  std::string v;
+  for (int i = 0; i < 8; i++) {
+    Status st = txn->Get(t, KeyFor(rng.Uniform(cfg.rows)), &v);
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
     }
-    (void)txn->Commit();
   }
-  Random rng(3);
-  for (auto _ : state) {
-    auto txn = db->Begin({.isolation = iso});
-    std::string v;
-    for (int i = 0; i < 10; i++) {
-      (void)txn->Get(t, "k" + std::to_string(rng.Uniform(1000)), &v);
+  if (rng.Bernoulli(cfg.write_frac)) {
+    Status st = txn->Put(t, KeyFor(rng.Uniform(cfg.rows)), "v2");
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
     }
-    (void)txn->Commit();
   }
+  return txn->Commit();
 }
-void BM_ReadTxnRepeatableRead(benchmark::State& state) {
-  ReadPathBench(state, IsolationLevel::kRepeatableRead);
-}
-BENCHMARK(BM_ReadTxnRepeatableRead);
-void BM_ReadTxnSerializable(benchmark::State& state) {
-  ReadPathBench(state, IsolationLevel::kSerializable);
-}
-BENCHMARK(BM_ReadTxnSerializable);
 
-void BM_WriteTxnRepeatableRead(benchmark::State& state) {
-  auto db = Database::Open({});
-  TableId t;
-  (void)db->CreateTable("t", &t);
-  Random rng(4);
-  for (auto _ : state) {
-    auto txn = db->Begin({.isolation = IsolationLevel::kRepeatableRead});
-    (void)txn->Put(t, "k" + std::to_string(rng.Uniform(1000)), "v");
-    (void)txn->Commit();
-  }
-}
-BENCHMARK(BM_WriteTxnRepeatableRead);
+struct Series {
+  const char* name;
+  IsolationLevel iso;
+  DatabaseOptions opts;
+};
 
-void BM_WriteTxnSerializable(benchmark::State& state) {
-  auto db = Database::Open({});
-  TableId t;
-  (void)db->CreateTable("t", &t);
-  Random rng(5);
-  for (auto _ : state) {
-    auto txn = db->Begin({.isolation = IsolationLevel::kSerializable});
-    (void)txn->Put(t, "k" + std::to_string(rng.Uniform(1000)), "v");
-    (void)txn->Commit();
+bool Load(Database* db, uint64_t rows, TableId* t) {
+  if (!db->CreateTable("t", t).ok()) return false;
+  auto txn = db->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  for (uint64_t i = 0; i < rows; i++) {
+    if (!txn->Put(*t, KeyFor(i), "v").ok()) return false;
   }
+  return txn->Commit().ok();
 }
-BENCHMARK(BM_WriteTxnSerializable);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; i++) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--rows=", 7) == 0) {
+      cfg.rows = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--write-frac=", 13) == 0) {
+      cfg.write_frac = std::atof(a + 13);
+    } else if (std::strncmp(a, "--partitions=", 13) == 0) {
+      cfg.partitions = static_cast<uint32_t>(std::strtoul(a + 13, nullptr, 10));
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      cfg.threads.clear();
+      for (const char* p = a + 10; *p;) {
+        cfg.threads.push_back(std::atoi(p));
+        while (*p && *p != ',') p++;
+        if (*p == ',') p++;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rows=N] [--write-frac=F] [--threads=a,b,...] "
+                   "[--partitions=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const double secs = PointSeconds(1.0);
+
+  DatabaseOptions si_opts;  // isolation chosen per txn; defaults otherwise
+  DatabaseOptions ssi_part;
+  ssi_part.engine.lock_partitions = cfg.partitions;
+  DatabaseOptions ssi_global;
+  ssi_global.engine.lock_partitions = 1;
+  DatabaseOptions s2pl;
+  s2pl.serializable_impl = SerializableImpl::kS2PL;
+
+  std::vector<Series> series = {
+      {"SI", IsolationLevel::kRepeatableRead, si_opts},
+      {"SSI/partitioned", IsolationLevel::kSerializable, ssi_part},
+      {"SSI/global-mutex", IsolationLevel::kSerializable, ssi_global},
+      {"S2PL", IsolationLevel::kSerializable, s2pl},
+  };
+  if (cfg.partitions == 1) series.erase(series.begin() + 2);  // same thing
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "# SIREAD lock-manager scaling: %llu rows, %.0f%% write txns, %gs/point, "
+      "%u partitions, %u hardware threads\n",
+      static_cast<unsigned long long>(cfg.rows), cfg.write_frac * 100, secs,
+      cfg.partitions, hw);
+  if (hw < 2) {
+    std::printf(
+        "# NOTE: single-core machine — partition scaling cannot show its "
+        "multicore win here; the A/B ratio below only reflects reduced futex "
+        "churn.\n");
+  }
+  std::printf("%-18s %8s %12s %10s %10s %10s\n", "series", "threads", "txn/s",
+              "abort%", "p50us", "p99us");
+
+  std::vector<BenchRow> rows_out;
+  // speedup[threads] = partitioned / global-mutex throughput
+  double part8 = 0, global8 = 0;
+  for (const Series& s : series) {
+    for (int threads : cfg.threads) {
+      auto db = Database::Open(s.opts);
+      TableId t;
+      if (!Load(db.get(), cfg.rows, &t)) {
+        std::fprintf(stderr, "load failed\n");
+        return 1;
+      }
+      DriverResult r = RunFixedDuration(
+          [&](int, Random& rng) {
+            return RunReadMostly(db.get(), t, cfg, rng, s.iso);
+          },
+          threads, secs);
+      BenchRow row = RowFromDriver(s.name, threads, r);
+      row.extra = {{"rows", static_cast<double>(cfg.rows)},
+                   {"write_frac", cfg.write_frac},
+                   {"partitions",
+                    static_cast<double>(s.opts.engine.lock_partitions)},
+                   {"hardware_threads", static_cast<double>(hw)}};
+      rows_out.push_back(row);
+      std::printf("%-18s %8d %12.0f %9.2f%% %10.1f %10.1f\n", s.name, threads,
+                  row.ops_per_sec, row.abort_rate * 100, row.p50_us,
+                  row.p99_us);
+      std::fflush(stdout);
+      if (threads == 8) {
+        if (std::strcmp(s.name, "SSI/partitioned") == 0)
+          part8 = row.ops_per_sec;
+        if (std::strcmp(s.name, "SSI/global-mutex") == 0)
+          global8 = row.ops_per_sec;
+      }
+    }
+  }
+
+  if (part8 > 0 && global8 > 0) {
+    std::printf(
+        "# 8-thread SERIALIZABLE speedup, partitioned vs global mutex: "
+        "%.2fx\n",
+        part8 / global8);
+  }
+  WriteBenchJson("lockmgr", rows_out);
+  return 0;
+}

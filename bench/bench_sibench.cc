@@ -6,9 +6,13 @@
 // run concurrently), widening with table size; SSI close to SI (within
 // the 10-20% read-dependency-tracking overhead), with the read-only
 // optimizations recovering part of that gap at larger table sizes.
+//
+// Also emits BENCH_sibench.json (series/threads/throughput/abort rate/
+// latency percentiles per point) for the perf trajectory.
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench_common.h"
 #include "workload/sibench.h"
 
@@ -29,6 +33,7 @@ int main() {
   std::printf("%-10s %-20s %12s %12s %14s\n", "rows", "mode", "txn/s",
               "normalized", "failure-rate");
 
+  std::vector<BenchRow> rows_out;
   for (uint64_t rows : sizes) {
     double si_throughput = 0;
     for (Mode m : modes) {
@@ -44,6 +49,9 @@ int main() {
           [&](int, Random& rng) { return bench.RunMixed(rng, iso); },
           threads, secs);
       if (m == Mode::kSI) si_throughput = r.Throughput();
+      BenchRow row = RowFromDriver(ModeName(m), threads, r);
+      row.extra = {{"rows", static_cast<double>(rows)}};
+      rows_out.push_back(row);
       std::printf("%-10llu %-20s %12.0f %11.2fx %13.3f%%\n",
                   static_cast<unsigned long long>(rows), ModeName(m),
                   r.Throughput(),
@@ -52,5 +60,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  WriteBenchJson("sibench", rows_out);
   return 0;
 }

@@ -14,6 +14,9 @@
 
 namespace pgssi {
 
+// Default SIREAD lock-table partition count (see EngineConfig).
+inline constexpr uint32_t kLockPartitions = 16;
+
 enum class IsolationLevel {
   kRepeatableRead,  // plain snapshot isolation
   kSerializable,    // SSI (or S2PL, per DatabaseOptions::serializable_impl)
@@ -33,6 +36,12 @@ struct EngineConfig {
   // SIREAD lock promotion thresholds (tuple -> page -> relation).
   uint32_t max_locks_per_page = 16;
   uint32_t max_pages_per_relation = 64;
+
+  // Number of independent SIREAD lock-table partitions (hash of the lock
+  // granule), the analogue of PostgreSQL's NUM_PREDICATELOCK_PARTITIONS.
+  // Rounded up to a power of two internally; 1 reproduces the old
+  // single-global-mutex behavior (the bench_lockmgr A/B baseline).
+  uint32_t lock_partitions = kLockPartitions;
 
   // Section 4: read-only snapshot ordering / safe snapshot optimizations.
   bool enable_read_only_opt = true;

@@ -133,7 +133,7 @@ Transaction::Transaction(Database* db, const TxnOptions& opts)
       xid_ = r.xid;
       snapshot_seq_ = r.snapshot_seq;
       sxact_ = db_->siread_.Register(xid_, snapshot_seq_, /*read_only=*/true);
-      sxact_->safe_snapshot = true;
+      sxact_->safe_snapshot.store(true, std::memory_order_release);
       db_->safe_snapshots_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -149,7 +149,7 @@ Transaction::Transaction(Database* db, const TxnOptions& opts)
       // Opportunistic safe snapshot: with no concurrent read-write
       // serializable transaction, Theorem 4 makes this snapshot safe
       // immediately, so the reader can skip SIREAD tracking entirely.
-      sxact_->safe_snapshot = true;
+      sxact_->safe_snapshot.store(true, std::memory_order_release);
       db_->safe_snapshots_.fetch_add(1, std::memory_order_relaxed);
     }
   }

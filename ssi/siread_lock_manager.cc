@@ -7,13 +7,51 @@ namespace pgssi::ssi {
 
 namespace {
 constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+constexpr size_t kMaxPartitions = 1024;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
-SireadLockManager::SireadLockManager(const EngineConfig& cfg) : cfg_(cfg) {}
+uint64_t MixHash(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+}  // namespace
+
+SireadLockManager::SireadLockManager(const EngineConfig& cfg)
+    : cfg_(cfg),
+      partition_count_(RoundUpPow2(std::min<size_t>(
+          kMaxPartitions, std::max<uint32_t>(1, cfg.lock_partitions)))),
+      partition_mask_(partition_count_ - 1),
+      partitions_(new Partition[partition_count_]),
+      min_committed_seq_(kInf) {}
+
+SireadLockManager::~SireadLockManager() = default;
+
+size_t SireadLockManager::PartitionIndex(RelationId rel, PageId page) const {
+  return static_cast<size_t>(MixHash(
+             static_cast<uint64_t>(rel) * 0x9E3779B97F4A7C15ULL ^ page)) &
+         partition_mask_;
+}
+
+size_t SireadLockManager::PartitionIndexForRelation(RelationId rel) const {
+  // Any deterministic partition works; spread relations with a distinct
+  // stream so they don't pile onto the partition of some hot page.
+  return static_cast<size_t>(
+             MixHash(static_cast<uint64_t>(rel) + 0xC2B2AE3D27D4EB4FULL)) &
+         partition_mask_;
+}
 
 SerializableXact* SireadLockManager::Register(XactId xid, uint64_t snapshot_seq,
                                               bool read_only) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   auto x = std::make_unique<SerializableXact>();
   x->xid = xid;
   x->snapshot_seq = snapshot_seq;
@@ -24,122 +62,191 @@ SerializableXact* SireadLockManager::Register(XactId xid, uint64_t snapshot_seq,
 }
 
 SerializableXact* SireadLockManager::Find(XactId xid) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   auto it = xacts_.find(xid);
   return it == xacts_.end() ? nullptr : it->second.get();
 }
 
 // ---------------------------------------------------------------------------
 // SIREAD acquisition with tuple -> page -> relation promotion (Section 5.1)
+//
+// Fast path: one partition lock (tuple and page granules of a (rel, page)
+// share a partition) plus the xact's held_mu spinlock. Escalation to
+// relation granularity leaves the fast path and takes the relation's
+// partition, then retires the finer locks partition by partition — the
+// relation lock is installed FIRST, so coverage is never lost, and map
+// entries are only ever removed together with their held-list twin, so
+// the bookkeeping invariant holds at every instant.
 // ---------------------------------------------------------------------------
+
+void SireadLockManager::EraseTupleHolder(Partition& p, RelationId rel,
+                                         PageId page, uint32_t slot,
+                                         SerializableXact* x) {
+  p.mu.AssertHeld();
+  auto it = p.tuple_locks.find({rel, page, slot});
+  if (it == p.tuple_locks.end()) return;
+  it->second.erase(x);
+  if (it->second.empty()) p.tuple_locks.erase(it);
+}
+
+void SireadLockManager::ErasePageHolder(Partition& p, RelationId rel,
+                                        PageId page, SerializableXact* x) {
+  p.mu.AssertHeld();
+  auto it = p.page_locks.find({rel, page});
+  if (it == p.page_locks.end()) return;
+  it->second.erase(x);
+  if (it->second.empty()) p.page_locks.erase(it);
+}
+
+void SireadLockManager::EraseRelationHolder(Partition& p, RelationId rel,
+                                            SerializableXact* x) {
+  p.mu.AssertHeld();
+  auto it = p.rel_locks.find(rel);
+  if (it == p.rel_locks.end()) return;
+  if (it->second.erase(x)) {
+    rel_lock_count_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (it->second.empty()) p.rel_locks.erase(it);
+}
 
 void SireadLockManager::AcquireTuple(SerializableXact* x, RelationId rel,
                                      PageId page, uint32_t slot) {
-  std::lock_guard<std::mutex> l(mu_);
-  AcquireTupleLocked(x, rel, page, slot);
-}
+  if (x == nullptr || x->safe_snapshot.load(std::memory_order_relaxed) ||
+      x->aborted.load(std::memory_order_relaxed)) {
+    return;
+  }
+  bool need_relation_promotion = false;
+  {
+    Partition& p = PartitionFor(rel, page);
+    std::lock_guard<CheckedMutex> pl(p.mu);
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    if (x->defunct.load(std::memory_order_relaxed)) return;
+    if (x->held_relations.count(rel)) return;  // covered by coarser lock
+    auto hp = x->held_pages.find(rel);
+    if (hp != x->held_pages.end() && hp->second.count(page)) return;
 
-void SireadLockManager::AcquireTupleLocked(SerializableXact* x, RelationId rel,
-                                           PageId page, uint32_t slot) {
-  if (x->safe_snapshot || x->aborted) return;
-  if (x->held_relations.count(rel)) return;  // covered by coarser lock
-  auto hp = x->held_pages.find(rel);
-  if (hp != x->held_pages.end() && hp->second.count(page)) return;
+    auto& slots = x->held_tuples[{rel, page}];
+    if (std::find(slots.begin(), slots.end(), slot) != slots.end()) return;
+    slots.push_back(slot);
+    p.tuple_locks[{rel, page, slot}].insert(x);
 
-  auto& slots = x->held_tuples[{rel, page}];
-  if (std::find(slots.begin(), slots.end(), slot) != slots.end()) return;
-  slots.push_back(slot);
-  tuple_locks_[{rel, page, slot}].insert(x);
-
-  if (slots.size() > cfg_.max_locks_per_page) {
-    // Promote: replace this xact's tuple locks on the page with one page
-    // lock (escalation never loses information, only precision).
-    for (uint32_t s : slots) {
-      auto it = tuple_locks_.find({rel, page, s});
-      if (it != tuple_locks_.end()) {
-        it->second.erase(x);
-        if (it->second.empty()) tuple_locks_.erase(it);
+    if (slots.size() > cfg_.max_locks_per_page) {
+      // Promote: replace this xact's tuple locks on the page with one page
+      // lock (escalation never loses information, only precision).
+      for (uint32_t s : slots) EraseTupleHolder(p, rel, page, s, x);
+      x->held_tuples.erase({rel, page});
+      page_promotions_.fetch_add(1, std::memory_order_relaxed);
+      auto& pages = x->held_pages[rel];
+      if (pages.insert(page).second) {
+        p.page_locks[{rel, page}].insert(x);
+        need_relation_promotion = pages.size() > cfg_.max_pages_per_relation;
       }
     }
-    x->held_tuples.erase({rel, page});
-    page_promotions_++;
-    AcquirePageLocked(x, rel, page);
+  }
+  if (need_relation_promotion) {
+    AcquireRelationInternal(x, rel, /*from_promotion=*/true);
   }
 }
 
 void SireadLockManager::AcquirePage(SerializableXact* x, RelationId rel,
                                     PageId page) {
-  std::lock_guard<std::mutex> l(mu_);
-  AcquirePageLocked(x, rel, page);
-}
-
-void SireadLockManager::AcquirePageLocked(SerializableXact* x, RelationId rel,
-                                          PageId page) {
-  if (x->safe_snapshot || x->aborted) return;
-  if (x->held_relations.count(rel)) return;
-  auto& pages = x->held_pages[rel];
-  if (!pages.insert(page).second) return;
-  page_locks_[{rel, page}].insert(x);
-  // Drop now-redundant tuple locks on this page.
-  auto ht = x->held_tuples.find({rel, page});
-  if (ht != x->held_tuples.end()) {
-    for (uint32_t s : ht->second) {
-      auto it = tuple_locks_.find({rel, page, s});
-      if (it != tuple_locks_.end()) {
-        it->second.erase(x);
-        if (it->second.empty()) tuple_locks_.erase(it);
-      }
-    }
-    x->held_tuples.erase(ht);
+  if (x == nullptr || x->safe_snapshot.load(std::memory_order_relaxed) ||
+      x->aborted.load(std::memory_order_relaxed)) {
+    return;
   }
-
-  if (pages.size() > cfg_.max_pages_per_relation) {
-    relation_promotions_++;
-    AcquireRelationLocked(x, rel);
+  bool need_relation_promotion = false;
+  {
+    Partition& p = PartitionFor(rel, page);
+    std::lock_guard<CheckedMutex> pl(p.mu);
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    if (x->defunct.load(std::memory_order_relaxed)) return;
+    if (x->held_relations.count(rel)) return;
+    auto& pages = x->held_pages[rel];
+    if (!pages.insert(page).second) return;
+    p.page_locks[{rel, page}].insert(x);
+    // Drop now-redundant tuple locks on this page (same partition).
+    auto ht = x->held_tuples.find({rel, page});
+    if (ht != x->held_tuples.end()) {
+      for (uint32_t s : ht->second) EraseTupleHolder(p, rel, page, s, x);
+      x->held_tuples.erase(ht);
+    }
+    need_relation_promotion = pages.size() > cfg_.max_pages_per_relation;
+  }
+  if (need_relation_promotion) {
+    AcquireRelationInternal(x, rel, /*from_promotion=*/true);
   }
 }
 
 void SireadLockManager::AcquireRelation(SerializableXact* x, RelationId rel) {
-  std::lock_guard<std::mutex> l(mu_);
-  AcquireRelationLocked(x, rel);
+  if (x == nullptr || x->safe_snapshot.load(std::memory_order_relaxed) ||
+      x->aborted.load(std::memory_order_relaxed)) {
+    return;
+  }
+  AcquireRelationInternal(x, rel, /*from_promotion=*/false);
 }
 
-void SireadLockManager::AcquireRelationLocked(SerializableXact* x,
-                                              RelationId rel) {
-  if (x->safe_snapshot || x->aborted) return;
-  if (!x->held_relations.insert(rel).second) return;
-  rel_locks_[rel].insert(x);
-  // Drop finer-granularity locks in this relation.
-  auto hp = x->held_pages.find(rel);
-  if (hp != x->held_pages.end()) {
-    for (PageId p : hp->second) {
-      auto it = page_locks_.find({rel, p});
-      if (it != page_locks_.end()) {
-        it->second.erase(x);
-        if (it->second.empty()) page_locks_.erase(it);
-      }
-    }
-    x->held_pages.erase(hp);
+void SireadLockManager::AcquireRelationInternal(SerializableXact* x,
+                                                RelationId rel,
+                                                bool from_promotion) {
+  {
+    // Install the relation-granule lock first: from this instant probes of
+    // any page in `rel` see x, so retiring the finer locks below can never
+    // open a coverage gap.
+    Partition& rp = PartitionForRelation(rel);
+    std::lock_guard<CheckedMutex> pl(rp.mu);
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    if (x->defunct.load(std::memory_order_relaxed)) return;
+    if (!x->held_relations.insert(rel).second) return;  // already held
+    rp.rel_locks[rel].insert(x);
+    rel_lock_count_.fetch_add(1, std::memory_order_acq_rel);
   }
-  for (auto it = x->held_tuples.begin(); it != x->held_tuples.end();) {
-    if (it->first.first == rel) {
-      for (uint32_t s : it->second) {
-        auto tl = tuple_locks_.find({rel, it->first.second, s});
-        if (tl != tuple_locks_.end()) {
-          tl->second.erase(x);
-          if (tl->second.empty()) tuple_locks_.erase(tl);
-        }
-      }
-      it = x->held_tuples.erase(it);
-    } else {
-      ++it;
+  if (from_promotion) {
+    relation_promotions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Retire x's finer-granularity locks in this relation. They are spread
+  // across partitions, so snapshot the keys and then remove each map
+  // entry together with its held-list twin under (partition, held_mu).
+  std::vector<PageId> page_keys;
+  std::vector<PageId> tuple_pages;
+  {
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    auto hp = x->held_pages.find(rel);
+    if (hp != x->held_pages.end()) {
+      page_keys.assign(hp->second.begin(), hp->second.end());
+    }
+    for (const auto& [key, slots] : x->held_tuples) {
+      if (key.first == rel) tuple_pages.push_back(key.second);
+    }
+  }
+  for (PageId pg : page_keys) {
+    Partition& p = PartitionFor(rel, pg);
+    std::lock_guard<CheckedMutex> pl(p.mu);
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    auto hp = x->held_pages.find(rel);
+    if (hp != x->held_pages.end() && hp->second.erase(pg)) {
+      if (hp->second.empty()) x->held_pages.erase(hp);
+      ErasePageHolder(p, rel, pg, x);
+    }
+  }
+  for (PageId pg : tuple_pages) {
+    Partition& p = PartitionFor(rel, pg);
+    std::lock_guard<CheckedMutex> pl(p.mu);
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    auto ht = x->held_tuples.find({rel, pg});
+    if (ht != x->held_tuples.end()) {
+      for (uint32_t s : ht->second) EraseTupleHolder(p, rel, pg, s, x);
+      x->held_tuples.erase(ht);
     }
   }
 }
 
 void SireadLockManager::ReleaseOwnTuple(SerializableXact* x, RelationId rel,
                                         PageId page, uint32_t slot) {
-  std::lock_guard<std::mutex> l(mu_);
+  if (x == nullptr) return;
+  Partition& p = PartitionFor(rel, page);
+  std::lock_guard<CheckedMutex> pl(p.mu);
+  std::lock_guard<SpinLock> hl(x->held_mu);
   auto ht = x->held_tuples.find({rel, page});
   if (ht == x->held_tuples.end()) return;
   auto& slots = ht->second;
@@ -147,28 +254,41 @@ void SireadLockManager::ReleaseOwnTuple(SerializableXact* x, RelationId rel,
   if (sit == slots.end()) return;
   slots.erase(sit);
   if (slots.empty()) x->held_tuples.erase(ht);
-  auto it = tuple_locks_.find({rel, page, slot});
-  if (it != tuple_locks_.end()) {
-    it->second.erase(x);
-    if (it->second.empty()) tuple_locks_.erase(it);
-  }
+  EraseTupleHolder(p, rel, page, slot, x);
 }
 
 ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
                                               uint32_t slot) {
-  std::lock_guard<std::mutex> l(mu_);
   ProbeResult r;
   auto add = [&r](const std::unordered_set<SerializableXact*>& holders) {
     for (SerializableXact* h : holders) {
-      if (!h->aborted) r.holder_xids.push_back(h->xid);
+      // Holders stay reachable while we hold their partition's lock: the
+      // releasing thread must sweep this partition (taking its mutex)
+      // before the xact can be freed. Skip ones already being torn down.
+      if (!h->aborted.load(std::memory_order_acquire) &&
+          !h->defunct.load(std::memory_order_acquire)) {
+        r.holder_xids.push_back(h->xid);
+      }
     }
   };
-  auto t = tuple_locks_.find({rel, page, slot});
-  if (t != tuple_locks_.end()) add(t->second);
-  auto p = page_locks_.find({rel, page});
-  if (p != page_locks_.end()) add(p->second);
-  auto rl = rel_locks_.find(rel);
-  if (rl != rel_locks_.end()) add(rl->second);
+  {
+    Partition& p = PartitionFor(rel, page);
+    std::lock_guard<CheckedMutex> pl(p.mu);
+    auto t = p.tuple_locks.find({rel, page, slot});
+    if (t != p.tuple_locks.end()) add(t->second);
+    auto pg = p.page_locks.find({rel, page});
+    if (pg != p.page_locks.end()) add(pg->second);
+  }
+  // Relation granules live in their own partition; skip the second lock
+  // while no relation lock exists anywhere. A relation lock appearing
+  // concurrently cannot be missed for a conflicting access: reads and
+  // writes of the same table are serialized by the table latch.
+  if (rel_lock_count_.load(std::memory_order_acquire) > 0) {
+    Partition& rp = PartitionForRelation(rel);
+    std::lock_guard<CheckedMutex> pl(rp.mu);
+    auto rl = rp.rel_locks.find(rel);
+    if (rl != rp.rel_locks.end()) add(rl->second);
+  }
   std::sort(r.holder_xids.begin(), r.holder_xids.end());
   r.holder_xids.erase(std::unique(r.holder_xids.begin(), r.holder_xids.end()),
                       r.holder_xids.end());
@@ -178,34 +298,51 @@ ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
 void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
                                     PageId new_page,
                                     const std::vector<uint32_t>& moved_slots) {
-  std::lock_guard<std::mutex> l(mu_);
+  const size_t oi = PartitionIndex(rel, old_page);
+  const size_t ni = PartitionIndex(rel, new_page);
+  Partition& P = partitions_[oi];
+  Partition& Q = partitions_[ni];
+  // Two partition locks in canonical index order — the only place the
+  // manager nests them — so concurrent splits cannot deadlock.
+  std::unique_lock<CheckedMutex> l1(partitions_[std::min(oi, ni)].mu);
+  std::unique_lock<CheckedMutex> l2;
+  if (oi != ni) {
+    l2 = std::unique_lock<CheckedMutex>(partitions_[std::max(oi, ni)].mu);
+  }
+
   for (uint32_t s : moved_slots) {
-    auto it = tuple_locks_.find({rel, old_page, s});
-    if (it == tuple_locks_.end()) continue;
+    auto it = P.tuple_locks.find({rel, old_page, s});
+    if (it == P.tuple_locks.end()) continue;
     // Move, don't duplicate: the entry now lives only on the new page and
     // writers probe the index-reported coordinates, so nothing consults
     // the old granule again; a retained copy would only bloat holders'
-    // bookkeeping and drift from tuple_locks_.
+    // bookkeeping and drift from the lock table.
     auto holders = std::move(it->second);
-    tuple_locks_.erase(it);
+    P.tuple_locks.erase(it);
     for (SerializableXact* h : holders) {
-      tuple_locks_[{rel, new_page, s}].insert(h);
-      h->held_tuples[{rel, new_page}].push_back(s);
+      std::lock_guard<SpinLock> hl(h->held_mu);
       auto ht = h->held_tuples.find({rel, old_page});
       if (ht != h->held_tuples.end()) {
         auto& slots = ht->second;
         slots.erase(std::remove(slots.begin(), slots.end(), s), slots.end());
         if (slots.empty()) h->held_tuples.erase(ht);
       }
+      // A holder whose final release has begun is dropped, not moved:
+      // its release sweep may already be past the new page's partition.
+      if (h->defunct.load(std::memory_order_relaxed)) continue;
+      Q.tuple_locks[{rel, new_page, s}].insert(h);
+      h->held_tuples[{rel, new_page}].push_back(s);
     }
   }
-  auto p = page_locks_.find({rel, old_page});
-  if (p != page_locks_.end()) {
+  auto p = P.page_locks.find({rel, old_page});
+  if (p != P.page_locks.end()) {
     // Copy: the insertions below must not invalidate the iterated set.
     auto holders = p->second;
     for (SerializableXact* h : holders) {
+      std::lock_guard<SpinLock> hl(h->held_mu);
+      if (h->defunct.load(std::memory_order_relaxed)) continue;
       if (h->held_pages[rel].insert(new_page).second) {
-        page_locks_[{rel, new_page}].insert(h);
+        Q.page_locks[{rel, new_page}].insert(h);
       }
     }
   }
@@ -213,6 +350,11 @@ void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
 
 // ---------------------------------------------------------------------------
 // Conflict graph + dangerous structures (Sections 3.1-3.3, 4)
+//
+// All graph state stays under the single serializable_xact_mu_: edges
+// form once per conflict and the dangerous-structure tests run once per
+// edge or commit — orders of magnitude rarer than SIREAD traffic, which
+// never touches this lock.
 // ---------------------------------------------------------------------------
 
 bool SireadLockManager::HasIn(const SerializableXact* x) const {
@@ -228,20 +370,23 @@ bool SireadLockManager::HasOutCommittedBefore(const SerializableXact* x,
   if (x->sticky_out_commit_seq != 0 && x->sticky_out_commit_seq < seq)
     return true;
   for (const SerializableXact* o : x->out_edges) {
-    if (o->committed && o->commit_seq < seq) return true;
+    if (o->committed.load(std::memory_order_relaxed) &&
+        o->commit_seq.load(std::memory_order_relaxed) < seq) {
+      return true;
+    }
   }
   return false;
 }
 
 void SireadLockManager::FlagRwConflict(SerializableXact* reader,
                                        SerializableXact* writer) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   FlagRwConflictLocked(reader, writer);
 }
 
 void SireadLockManager::FlagRwConflictWithWriter(SerializableXact* reader,
                                                  XactId writer_xid) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   auto it = xacts_.find(writer_xid);
   if (it == xacts_.end()) return;  // non-serializable or already cleaned
   FlagRwConflictLocked(reader, it->second.get());
@@ -249,7 +394,7 @@ void SireadLockManager::FlagRwConflictWithWriter(SerializableXact* reader,
 
 void SireadLockManager::FlagRwConflictWithReader(XactId reader_xid,
                                                  SerializableXact* writer) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   auto it = xacts_.find(reader_xid);
   if (it == xacts_.end()) return;
   FlagRwConflictLocked(it->second.get(), writer);
@@ -258,11 +403,15 @@ void SireadLockManager::FlagRwConflictWithReader(XactId reader_xid,
 void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
                                              SerializableXact* writer) {
   if (reader == nullptr || writer == nullptr || reader == writer) return;
-  if (reader->aborted || writer->aborted) return;
-  if (reader->safe_snapshot) return;
+  if (reader->aborted.load(std::memory_order_relaxed) ||
+      writer->aborted.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (reader->safe_snapshot.load(std::memory_order_relaxed)) return;
   if (reader->out_edges.count(writer)) return;  // already recorded
 
-  if (cfg_.enable_read_only_opt && reader->read_only && writer->committed) {
+  if (cfg_.enable_read_only_opt && reader->read_only &&
+      writer->committed.load(std::memory_order_relaxed)) {
     // Section 4: an edge from a read-only reader matters only when the
     // writer (the would-be pivot) has an out-edge to a transaction that
     // committed before the reader's snapshot (i.e. visible to it — hence
@@ -271,15 +420,16 @@ void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
     // in-flight writer the edge must be recorded and the per-reader
     // bound applied later by DangerousPivot.
     uint64_t bound = reader->snapshot_seq + 1;
-    if (writer->commit_seq != 0 && writer->commit_seq < bound) {
-      bound = writer->commit_seq;  // T3 must also precede the pivot
+    uint64_t wseq = writer->commit_seq.load(std::memory_order_relaxed);
+    if (wseq != 0 && wseq < bound) {
+      bound = wseq;  // T3 must also precede the pivot
     }
     if (!HasOutCommittedBefore(writer, bound)) return;
-    if (!reader->doomed) {
+    if (!reader->doomed.load(std::memory_order_relaxed)) {
       // The committed pivot's structure is already dangerous for this
       // reader; the reader is the only abortable party left.
-      reader->doomed = true;
-      ssi_aborts_++;
+      reader->doomed.store(true, std::memory_order_release);
+      ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -312,43 +462,47 @@ void SireadLockManager::MaybeDoomOnEdge(SerializableXact* reader,
   // is already unavoidable (its out-neighbour committed first)?
   // A commit-pending xact (committed, seq still 0) is treated as having
   // committed "now": bound at infinity, conservatively.
-  uint64_t writer_bound =
-      writer->committed && writer->commit_seq != 0 ? writer->commit_seq : kInf;
+  const bool writer_committed = writer->committed.load(std::memory_order_relaxed);
+  const uint64_t writer_seq = writer->commit_seq.load(std::memory_order_relaxed);
+  uint64_t writer_bound = writer_committed && writer_seq != 0 ? writer_seq : kInf;
   if (DangerousPivot(writer, writer_bound)) {
-    if (!writer->committed) {
-      if (!writer->doomed) {
-        writer->doomed = true;
-        ssi_aborts_++;
+    if (!writer_committed) {
+      if (!writer->doomed.load(std::memory_order_relaxed)) {
+        writer->doomed.store(true, std::memory_order_release);
+        ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
       }
-    } else if (!reader->committed && !reader->doomed) {
+    } else if (!reader->committed.load(std::memory_order_relaxed) &&
+               !reader->doomed.load(std::memory_order_relaxed)) {
       // The pivot already committed; the only transaction still abortable
       // is the incoming reader.
-      reader->doomed = true;
-      ssi_aborts_++;
+      reader->doomed.store(true, std::memory_order_release);
+      ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
-  if (!cfg_.enable_commit_ordering_opt && reader->committed &&
-      HasIn(reader) && !writer->doomed && !writer->committed) {
+  if (!cfg_.enable_commit_ordering_opt &&
+      reader->committed.load(std::memory_order_relaxed) && HasIn(reader) &&
+      !writer->doomed.load(std::memory_order_relaxed) && !writer_committed) {
     // Without the commit-ordering refinement, a committed pivot dooms the
     // overwriting transaction regardless of commit order.
-    writer->doomed = true;
-    ssi_aborts_++;
+    writer->doomed.store(true, std::memory_order_release);
+    ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (!cfg_.enable_safe_retry && !writer->committed && !writer->doomed &&
-      HasIn(writer) && HasOutAny(writer)) {
+  if (!cfg_.enable_safe_retry && !writer_committed &&
+      !writer->doomed.load(std::memory_order_relaxed) && HasIn(writer) &&
+      HasOutAny(writer)) {
     // Eager victim policy: abort the pivot as soon as the structure forms,
     // even though its partners are still in flight and a retry may hit the
     // same conflict again (Section 5.4 discusses why this is wasteful).
-    writer->doomed = true;
-    ssi_aborts_++;
+    writer->doomed.store(true, std::memory_order_release);
+    ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 Status SireadLockManager::PreCommit(SerializableXact* x) {
-  std::lock_guard<std::mutex> l(mu_);
-  if (x->doomed) {
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  if (x->doomed.load(std::memory_order_relaxed)) {
     return Status::SerializationFailure(
         "canceled due to rw-antidependency conflict (doomed)");
   }
@@ -359,7 +513,7 @@ Status SireadLockManager::PreCommit(SerializableXact* x) {
     hazard = HasIn(x) && HasOutAny(x);
   }
   if (hazard) {
-    ssi_aborts_++;
+    ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
     return Status::SerializationFailure(
         "canceled on commit: pivot in dangerous structure");
   }
@@ -369,35 +523,34 @@ Status SireadLockManager::PreCommit(SerializableXact* x) {
   // inspection — and both sides of the dangerous structure would commit.
   // Marking it committed makes any such concurrent edge doom the other
   // party instead (this transaction is certain to commit first).
-  x->committed = true;
+  x->committed.store(true, std::memory_order_release);
   return Status::OK();
-}
-
-bool SireadLockManager::Doomed(const SerializableXact* x) const {
-  std::lock_guard<std::mutex> l(mu_);
-  return x->doomed;
 }
 
 void SireadLockManager::MarkCommitted(SerializableXact* x,
                                       uint64_t commit_seq) {
-  std::lock_guard<std::mutex> l(mu_);
-  x->committed = true;
-  x->commit_seq = commit_seq;
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  x->committed.store(true, std::memory_order_relaxed);
+  x->commit_seq.store(commit_seq, std::memory_order_release);
+  if (commit_seq < min_committed_seq_.load(std::memory_order_relaxed)) {
+    min_committed_seq_.store(commit_seq, std::memory_order_release);
+  }
 }
 
 void SireadLockManager::DissolveEdgesLocked(SerializableXact* x,
                                             bool make_sticky) {
+  const bool x_committed = x->committed.load(std::memory_order_relaxed);
+  const uint64_t x_seq = x->commit_seq.load(std::memory_order_relaxed);
   for (SerializableXact* o : x->out_edges) {
     o->in_edges.erase(x);
-    if (make_sticky && x->committed) o->sticky_in = true;
+    if (make_sticky && x_committed) o->sticky_in = true;
   }
   for (SerializableXact* i : x->in_edges) {
     i->out_edges.erase(x);
-    if (make_sticky && x->committed) {
+    if (make_sticky && x_committed) {
       i->sticky_out = true;
-      if (i->sticky_out_commit_seq == 0 ||
-          x->commit_seq < i->sticky_out_commit_seq) {
-        i->sticky_out_commit_seq = x->commit_seq;
+      if (i->sticky_out_commit_seq == 0 || x_seq < i->sticky_out_commit_seq) {
+        i->sticky_out_commit_seq = x_seq;
       }
     }
   }
@@ -405,71 +558,105 @@ void SireadLockManager::DissolveEdgesLocked(SerializableXact* x,
   x->in_edges.clear();
 }
 
-void SireadLockManager::ReleaseAllLocksLocked(SerializableXact* x) {
-  for (auto& [key, slots] : x->held_tuples) {
+void SireadLockManager::ReleaseAllLocks(SerializableXact* x) {
+  decltype(x->held_tuples) tuples;
+  decltype(x->held_pages) pages;
+  decltype(x->held_relations) rels;
+  {
+    // Marking defunct and emptying the held lists is one atomic step:
+    // any page split that observed x NOT defunct finished its held-list
+    // update before this (so the swap captures it); any later split sees
+    // defunct and drops x instead of re-adding it.
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    x->defunct.store(true, std::memory_order_release);
+    tuples.swap(x->held_tuples);
+    pages.swap(x->held_pages);
+    rels.swap(x->held_relations);
+  }
+  for (const auto& [key, slots] : tuples) {
+    Partition& p = PartitionFor(key.first, key.second);
+    std::lock_guard<CheckedMutex> pl(p.mu);
     for (uint32_t s : slots) {
-      auto it = tuple_locks_.find({key.first, key.second, s});
-      if (it != tuple_locks_.end()) {
-        it->second.erase(x);
-        if (it->second.empty()) tuple_locks_.erase(it);
-      }
+      EraseTupleHolder(p, key.first, key.second, s, x);
     }
   }
-  x->held_tuples.clear();
-  for (auto& [rel, pages] : x->held_pages) {
-    for (PageId p : pages) {
-      auto it = page_locks_.find({rel, p});
-      if (it != page_locks_.end()) {
-        it->second.erase(x);
-        if (it->second.empty()) page_locks_.erase(it);
-      }
+  for (const auto& [rel, pgs] : pages) {
+    for (PageId pg : pgs) {
+      Partition& p = PartitionFor(rel, pg);
+      std::lock_guard<CheckedMutex> pl(p.mu);
+      ErasePageHolder(p, rel, pg, x);
     }
   }
-  x->held_pages.clear();
-  for (RelationId rel : x->held_relations) {
-    auto it = rel_locks_.find(rel);
-    if (it != rel_locks_.end()) {
-      it->second.erase(x);
-      if (it->second.empty()) rel_locks_.erase(it);
-    }
+  for (RelationId rel : rels) {
+    Partition& rp = PartitionForRelation(rel);
+    std::lock_guard<CheckedMutex> pl(rp.mu);
+    EraseRelationHolder(rp, rel, x);
   }
-  x->held_relations.clear();
 }
 
 void SireadLockManager::Abort(SerializableXact* x) {
-  std::lock_guard<std::mutex> l(mu_);
-  x->aborted = true;
-  DissolveEdgesLocked(x, /*make_sticky=*/false);
-  ReleaseAllLocksLocked(x);
-  xacts_.erase(x->xid);  // frees x when engine-registered; no-op for stack
+  x->aborted.store(true, std::memory_order_release);
+  ReleaseAllLocks(x);
+  std::unique_ptr<SerializableXact> owned;
+  {
+    std::lock_guard<std::mutex> l(serializable_xact_mu_);
+    DissolveEdgesLocked(x, /*make_sticky=*/false);
+    auto it = xacts_.find(x->xid);
+    if (it != xacts_.end() && it->second.get() == x) {
+      owned = std::move(it->second);  // frees x below; no-op for stack xacts
+      xacts_.erase(it);
+    }
+  }
 }
 
 void SireadLockManager::Cleanup(uint64_t oldest_active_snapshot_seq) {
-  std::lock_guard<std::mutex> l(mu_);
-  std::vector<XactId> dead;
-  for (auto& [xid, x] : xacts_) {
-    // commit_seq == 0 means commit-pending: not freeable yet.
-    if (x->committed && x->commit_seq != 0 &&
-        x->commit_seq <= oldest_active_snapshot_seq) {
-      dead.push_back(xid);
+  // Fast out: nothing committed early enough to be freeable. The hint is
+  // conservative (monotone min maintained by MarkCommitted, recomputed
+  // exactly whenever xacts are freed), so a skipped cleanup is always
+  // retried by the next caller once something becomes freeable.
+  if (min_committed_seq_.load(std::memory_order_acquire) >
+      oldest_active_snapshot_seq) {
+    return;
+  }
+  std::vector<std::unique_ptr<SerializableXact>> dead;
+  {
+    std::lock_guard<std::mutex> l(serializable_xact_mu_);
+    for (auto it = xacts_.begin(); it != xacts_.end();) {
+      SerializableXact* x = it->second.get();
+      const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
+      // commit_seq == 0 means commit-pending: not freeable yet.
+      if (x->committed.load(std::memory_order_relaxed) && seq != 0 &&
+          seq <= oldest_active_snapshot_seq) {
+        DissolveEdgesLocked(x, /*make_sticky=*/true);
+        dead.push_back(std::move(it->second));
+        it = xacts_.erase(it);
+      } else {
+        ++it;
+      }
     }
+    uint64_t min_seq = kInf;
+    for (const auto& [xid, x] : xacts_) {
+      const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
+      if (x->committed.load(std::memory_order_relaxed) && seq != 0) {
+        min_seq = std::min(min_seq, seq);
+      }
+    }
+    min_committed_seq_.store(min_seq, std::memory_order_release);
   }
-  for (XactId xid : dead) {
-    auto it = xacts_.find(xid);
-    SerializableXact* x = it->second.get();
-    DissolveEdgesLocked(x, /*make_sticky=*/true);
-    ReleaseAllLocksLocked(x);
-    xacts_.erase(it);
-  }
+  // Lock release happens outside the registry lock: the partition sweep
+  // synchronizes with concurrent probes/splits, which is all that is
+  // needed before freeing.
+  for (auto& x : dead) ReleaseAllLocks(x.get());
 }
 
 bool SireadLockManager::CommittedWithDangerousOut(XactId xid,
                                                   uint64_t snapshot_seq) {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   auto it = xacts_.find(xid);
   if (it == xacts_.end()) return false;  // cleaned up => no longer relevant
   SerializableXact* x = it->second.get();
-  return x->committed && HasOutCommittedBefore(x, snapshot_seq + 1);
+  return x->committed.load(std::memory_order_relaxed) &&
+         HasOutCommittedBefore(x, snapshot_seq + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -479,43 +666,146 @@ bool SireadLockManager::CommittedWithDangerousOut(XactId xid,
 bool SireadLockManager::HoldsTupleLock(const SerializableXact* x,
                                        RelationId rel, PageId page,
                                        uint32_t slot) const {
-  std::lock_guard<std::mutex> l(mu_);
-  auto it = tuple_locks_.find({rel, page, slot});
-  return it != tuple_locks_.end() &&
+  Partition& p = PartitionFor(rel, page);
+  std::lock_guard<CheckedMutex> pl(p.mu);
+  auto it = p.tuple_locks.find({rel, page, slot});
+  return it != p.tuple_locks.end() &&
          it->second.count(const_cast<SerializableXact*>(x));
 }
 
 bool SireadLockManager::HoldsPageLock(const SerializableXact* x,
                                       RelationId rel, PageId page) const {
-  std::lock_guard<std::mutex> l(mu_);
-  auto it = page_locks_.find({rel, page});
-  return it != page_locks_.end() &&
+  Partition& p = PartitionFor(rel, page);
+  std::lock_guard<CheckedMutex> pl(p.mu);
+  auto it = p.page_locks.find({rel, page});
+  return it != p.page_locks.end() &&
          it->second.count(const_cast<SerializableXact*>(x));
 }
 
 bool SireadLockManager::HoldsRelationLock(const SerializableXact* x,
                                           RelationId rel) const {
-  std::lock_guard<std::mutex> l(mu_);
-  auto it = rel_locks_.find(rel);
-  return it != rel_locks_.end() &&
+  Partition& rp = PartitionForRelation(rel);
+  std::lock_guard<CheckedMutex> pl(rp.mu);
+  auto it = rp.rel_locks.find(rel);
+  return it != rp.rel_locks.end() &&
          it->second.count(const_cast<SerializableXact*>(x));
 }
 
 size_t SireadLockManager::RegisteredCount() const {
-  std::lock_guard<std::mutex> l(mu_);
+  std::lock_guard<std::mutex> l(serializable_xact_mu_);
   return xacts_.size();
 }
+
 size_t SireadLockManager::TupleLockCount() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return tuple_locks_.size();
+  size_t n = 0;
+  for (size_t i = 0; i < partition_count_; i++) {
+    std::lock_guard<CheckedMutex> pl(partitions_[i].mu);
+    n += partitions_[i].tuple_locks.size();
+  }
+  return n;
 }
+
 size_t SireadLockManager::PageLockCount() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return page_locks_.size();
+  size_t n = 0;
+  for (size_t i = 0; i < partition_count_; i++) {
+    std::lock_guard<CheckedMutex> pl(partitions_[i].mu);
+    n += partitions_[i].page_locks.size();
+  }
+  return n;
 }
+
 size_t SireadLockManager::RelationLockCount() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return rel_locks_.size();
+  size_t n = 0;
+  for (size_t i = 0; i < partition_count_; i++) {
+    std::lock_guard<CheckedMutex> pl(partitions_[i].mu);
+    n += partitions_[i].rel_locks.size();
+  }
+  return n;
+}
+
+size_t SireadLockManager::TotalLockCount() const {
+  size_t n = 0;
+  for (size_t i = 0; i < partition_count_; i++) {
+    std::lock_guard<CheckedMutex> pl(partitions_[i].mu);
+    n += partitions_[i].tuple_locks.size() + partitions_[i].page_locks.size() +
+         partitions_[i].rel_locks.size();
+  }
+  return n;
+}
+
+bool SireadLockManager::CheckConsistency() const {
+  std::lock_guard<std::mutex> xl(serializable_xact_mu_);
+  std::vector<std::unique_lock<CheckedMutex>> locks;
+  locks.reserve(partition_count_);
+  for (size_t i = 0; i < partition_count_; i++) {
+    locks.emplace_back(partitions_[i].mu);
+  }
+  bool ok = true;
+  int64_t rel_entries = 0;
+  // Forward: every lock-table entry is mirrored in its holder's held
+  // lists (and hashed to the right partition).
+  for (size_t i = 0; i < partition_count_; i++) {
+    const Partition& p = partitions_[i];
+    for (const auto& [tag, holders] : p.tuple_locks) {
+      if (PartitionIndex(tag.rel, tag.page) != i) ok = false;
+      for (SerializableXact* h : holders) {
+        std::lock_guard<SpinLock> hl(h->held_mu);
+        auto ht = h->held_tuples.find({tag.rel, tag.page});
+        if (ht == h->held_tuples.end() ||
+            std::find(ht->second.begin(), ht->second.end(), tag.slot) ==
+                ht->second.end()) {
+          ok = false;
+        }
+      }
+    }
+    for (const auto& [key, holders] : p.page_locks) {
+      if (PartitionIndex(key.first, key.second) != i) ok = false;
+      for (SerializableXact* h : holders) {
+        std::lock_guard<SpinLock> hl(h->held_mu);
+        auto hp = h->held_pages.find(key.first);
+        if (hp == h->held_pages.end() || !hp->second.count(key.second)) {
+          ok = false;
+        }
+      }
+    }
+    for (const auto& [rel, holders] : p.rel_locks) {
+      if (PartitionIndexForRelation(rel) != i) ok = false;
+      rel_entries += static_cast<int64_t>(holders.size());
+      for (SerializableXact* h : holders) {
+        std::lock_guard<SpinLock> hl(h->held_mu);
+        if (!h->held_relations.count(rel)) ok = false;
+      }
+    }
+  }
+  if (rel_entries != rel_lock_count_.load(std::memory_order_relaxed)) {
+    ok = false;
+  }
+  // Reverse: every registered xact's held entry exists in the tables.
+  for (const auto& [xid, x] : xacts_) {
+    std::lock_guard<SpinLock> hl(x->held_mu);
+    for (const auto& [key, slots] : x->held_tuples) {
+      const Partition& p = partitions_[PartitionIndex(key.first, key.second)];
+      for (uint32_t s : slots) {
+        auto it = p.tuple_locks.find({key.first, key.second, s});
+        if (it == p.tuple_locks.end() || !it->second.count(x.get())) {
+          ok = false;
+        }
+      }
+    }
+    for (const auto& [rel, pgs] : x->held_pages) {
+      for (PageId pg : pgs) {
+        const Partition& p = partitions_[PartitionIndex(rel, pg)];
+        auto it = p.page_locks.find({rel, pg});
+        if (it == p.page_locks.end() || !it->second.count(x.get())) ok = false;
+      }
+    }
+    for (RelationId rel : x->held_relations) {
+      const Partition& p = partitions_[PartitionIndexForRelation(rel)];
+      auto it = p.rel_locks.find(rel);
+      if (it == p.rel_locks.end() || !it->second.count(x.get())) ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace pgssi::ssi

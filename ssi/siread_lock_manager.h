@@ -14,6 +14,28 @@
 //  - the Section 4 read-only optimization: an edge from a read-only
 //    reader is only dangerous if the pivot's out-edge leads to a
 //    transaction that committed before the reader's snapshot.
+//
+// Concurrency design (the multicore hot path, mirroring PostgreSQL's
+// partitioned predicate-lock hash table):
+//  - The lock tables are hashed into EngineConfig::lock_partitions
+//    independent partitions, each with its own mutex. Tuple and page
+//    granules of the same (relation, page) hash to the same partition, so
+//    AcquireTuple/AcquirePage/ProbeHeapWrite take exactly ONE partition
+//    lock on the fast path. Relation granules live in a per-relation
+//    partition; probes skip it entirely while no relation lock exists
+//    anywhere (rel_lock_count_ == 0).
+//  - Each SerializableXact's held-lock bookkeeping is guarded by its own
+//    spinlock (held_mu), always acquired AFTER the owning partition lock.
+//  - The conflict graph, xact registry, commit-seq ordering, and the
+//    dangerous-structure tests stay under one global serializable_xact_mu_
+//    — these run once per conflict or per commit, not once per read.
+//  - Lifecycle flags (committed/aborted/doomed/...) are atomics so the
+//    hot path (Doomed(), probe holder filtering) reads them lock-free.
+//
+// Lock ordering (outermost first): serializable_xact_mu_ > partition
+// mutex > per-xact held_mu. Two partition locks are only ever held
+// together in canonical (index) order — OnPageSplit moving locks between
+// leaves, never on the acquire/probe fast path.
 #pragma once
 
 #include <atomic>
@@ -26,6 +48,8 @@
 #include <vector>
 
 #include "db/config.h"
+#include "util/dcheck.h"
+#include "util/spinlock.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -34,19 +58,28 @@ namespace pgssi::ssi {
 struct SerializableXact {
   XactId xid = 0;
   uint64_t snapshot_seq = 0;
-  uint64_t commit_seq = 0;  // 0 while in flight
   bool read_only = false;
-  bool safe_snapshot = false;  // read-only with a safe snapshot: no tracking
-  bool committed = false;
-  bool aborted = false;
+  // Read-only with a safe snapshot: no tracking. Written by the owning
+  // thread at Begin, read by writers flagging conflicts: atomic.
+  std::atomic<bool> safe_snapshot{false};
+
+  // Lifecycle. Written under serializable_xact_mu_ (or by the releasing
+  // thread for `defunct`), read lock-free on the hot path.
+  std::atomic<uint64_t> commit_seq{0};  // 0 while in flight
+  std::atomic<bool> committed{false};
+  std::atomic<bool> aborted{false};
   // Set when this transaction must abort with a serialization failure at
   // its next operation or commit (it is the chosen victim of a dangerous
   // structure it can no longer avoid).
-  bool doomed = false;
+  std::atomic<bool> doomed{false};
+  // Final lock release has begun: no new SIREAD entries may be added for
+  // this xact (page splits drop it instead) and probes skip it. Set under
+  // held_mu, checked under held_mu by anyone about to add an entry.
+  std::atomic<bool> defunct{false};
 
   // Conflict graph. `in_edges` holds T1 for each T1 -rw-> this edge
   // (T1 read a version this transaction overwrote); `out_edges` holds T3
-  // for each this -rw-> T3 edge. Guarded by the manager mutex.
+  // for each this -rw-> T3 edge. Guarded by serializable_xact_mu_.
   std::unordered_set<SerializableXact*> in_edges;
   std::unordered_set<SerializableXact*> out_edges;
   // Summary flags left behind when a committed partner is cleaned up.
@@ -55,7 +88,9 @@ struct SerializableXact {
   uint64_t sticky_out_commit_seq = 0;  // min commit seq of cleaned out-partners
 
   // SIREAD lock bookkeeping (which granules this xact holds), so release
-  // and promotion are O(held locks). Guarded by the manager mutex.
+  // and promotion are O(held locks). Guarded by held_mu, which is always
+  // acquired after the partition lock owning the granule being changed.
+  mutable SpinLock held_mu;
   std::map<std::pair<RelationId, PageId>, std::vector<uint32_t>> held_tuples;
   std::map<RelationId, std::unordered_set<PageId>> held_pages;
   std::unordered_set<RelationId> held_relations;
@@ -68,6 +103,7 @@ struct ProbeResult {
 class SireadLockManager {
  public:
   explicit SireadLockManager(const EngineConfig& cfg);
+  ~SireadLockManager();
 
   // ----- xact registry (engine-managed transactions) -----
   SerializableXact* Register(XactId xid, uint64_t snapshot_seq, bool read_only);
@@ -85,10 +121,13 @@ class SireadLockManager {
 
   /// Every heap write probes for SIREAD locks (tuple, its page, and the
   /// relation) held by other transactions. Returns all holders' xids.
+  /// Takes only the (rel, page) partition lock unless a relation-granule
+  /// lock exists somewhere in the system.
   ProbeResult ProbeHeapWrite(RelationId rel, PageId page, uint32_t slot);
 
   /// Section 5.2.2: a B+-tree leaf split moved `moved_slots` from
-  /// `old_page` to `new_page`; duplicate the covering locks.
+  /// `old_page` to `new_page`; move the tuple locks and duplicate the
+  /// page locks. May take two partition locks, in canonical index order.
   void OnPageSplit(RelationId rel, PageId old_page, PageId new_page,
                    const std::vector<uint32_t>& moved_slots);
 
@@ -96,7 +135,7 @@ class SireadLockManager {
   /// Record reader -rw-> writer. May doom one of the parties if this edge
   /// completes a dangerous structure that can no longer resolve safely.
   void FlagRwConflict(SerializableXact* reader, SerializableXact* writer);
-  /// Same, resolving one side by xid under the manager lock (the pointer
+  /// Same, resolving one side by xid under the registry lock (the pointer
   /// for a foreign xact may be freed concurrently, so callers outside the
   /// manager must not hold one across calls). Unknown xids are ignored.
   void FlagRwConflictWithWriter(SerializableXact* reader, XactId writer_xid);
@@ -112,7 +151,8 @@ class SireadLockManager {
 
   /// Free committed xacts (and their SIREAD locks) whose commit precedes
   /// every active snapshot. Edges to still-live partners become sticky
-  /// summary flags.
+  /// summary flags. Cheap no-op (one atomic load) when nothing is
+  /// freeable.
   void Cleanup(uint64_t oldest_active_snapshot_seq);
 
   /// True if `x` (a committed concurrent txn) makes a candidate snapshot
@@ -120,7 +160,10 @@ class SireadLockManager {
   /// a transaction that committed before that snapshot (Section 4).
   bool CommittedWithDangerousOut(XactId xid, uint64_t snapshot_seq);
 
-  bool Doomed(const SerializableXact* x) const;
+  /// Lock-free: one atomic load (called before every operation).
+  bool Doomed(const SerializableXact* x) const {
+    return x->doomed.load(std::memory_order_acquire);
+  }
 
   // ----- introspection (tests, stats) -----
   bool HoldsTupleLock(const SerializableXact* x, RelationId rel, PageId page,
@@ -132,6 +175,13 @@ class SireadLockManager {
   size_t TupleLockCount() const;
   size_t PageLockCount() const;
   size_t RelationLockCount() const;
+  /// Tuple + page + relation lock-table entries across all partitions.
+  size_t TotalLockCount() const;
+  /// Cross-checks every partition map entry against its holder's held-lock
+  /// bookkeeping and (for registered xacts) vice versa. Intended for tests
+  /// at quiescent points; takes every lock in the manager.
+  bool CheckConsistency() const;
+  size_t partition_count() const { return partition_count_; }
   uint64_t page_promotions() const {
     return page_promotions_.load(std::memory_order_relaxed);
   }
@@ -153,31 +203,78 @@ class SireadLockManager {
       return slot < o.slot;
     }
   };
-  void AcquireTupleLocked(SerializableXact* x, RelationId rel, PageId page,
-                          uint32_t slot);
-  void AcquirePageLocked(SerializableXact* x, RelationId rel, PageId page);
-  void AcquireRelationLocked(SerializableXact* x, RelationId rel);
-  void ReleaseAllLocksLocked(SerializableXact* x);
-  void DissolveEdgesLocked(SerializableXact* x, bool make_sticky);
-  // Dangerous-structure predicate helpers (manager mutex held).
+
+  // One shard of the lock table. Tuple and page granules of a given
+  // (relation, page) always live in the same partition; relation granules
+  // live in the partition chosen by PartitionIndexForRelation.
+  struct alignas(64) Partition {
+    mutable CheckedMutex mu;
+    std::map<TupleTag, std::unordered_set<SerializableXact*>> tuple_locks;
+    std::map<std::pair<RelationId, PageId>,
+             std::unordered_set<SerializableXact*>>
+        page_locks;
+    std::unordered_map<RelationId, std::unordered_set<SerializableXact*>>
+        rel_locks;
+  };
+
+  size_t PartitionIndex(RelationId rel, PageId page) const;
+  size_t PartitionIndexForRelation(RelationId rel) const;
+  Partition& PartitionFor(RelationId rel, PageId page) const {
+    return partitions_[PartitionIndex(rel, page)];
+  }
+  Partition& PartitionForRelation(RelationId rel) const {
+    return partitions_[PartitionIndexForRelation(rel)];
+  }
+
+  // Map-entry erase helpers; the owning partition lock must be held.
+  void EraseTupleHolder(Partition& p, RelationId rel, PageId page,
+                        uint32_t slot, SerializableXact* x);
+  void ErasePageHolder(Partition& p, RelationId rel, PageId page,
+                       SerializableXact* x);
+  void EraseRelationHolder(Partition& p, RelationId rel, SerializableXact* x);
+
+  // Slow path: install the relation-granule lock, then retire x's finer
+  // locks in `rel` partition by partition. `from_promotion` counts the
+  // escalation in relation_promotions_.
+  void AcquireRelationInternal(SerializableXact* x, RelationId rel,
+                               bool from_promotion);
+
+  /// Marks x defunct and removes every SIREAD entry it holds from the
+  /// partition tables. After this returns, no other thread can reach x
+  /// through the lock tables.
+  void ReleaseAllLocks(SerializableXact* x);
+
+  // Dangerous-structure predicate helpers (serializable_xact_mu_ held).
   bool HasIn(const SerializableXact* x) const;
   bool HasOutAny(const SerializableXact* x) const;
   bool HasOutCommittedBefore(const SerializableXact* x, uint64_t seq) const;
   bool DangerousPivot(const SerializableXact* x, uint64_t pivot_bound) const;
   void FlagRwConflictLocked(SerializableXact* reader, SerializableXact* writer);
   void MaybeDoomOnEdge(SerializableXact* reader, SerializableXact* writer);
+  void DissolveEdgesLocked(SerializableXact* x, bool make_sticky);
 
   EngineConfig cfg_;
-  mutable std::mutex mu_;
+  size_t partition_count_;  // power of two
+  size_t partition_mask_;
+  std::unique_ptr<Partition[]> partitions_;
 
+  // Global count of relation-granule lock entries; probes skip the
+  // relation partition lookup entirely while it is zero (the common case
+  // under default promotion thresholds).
+  std::atomic<int64_t> rel_lock_count_{0};
+
+  // Registry + conflict graph + commit ordering. Held only for
+  // registration, edge flagging, the dangerous-structure tests, commit
+  // sequencing, and cleanup — never on the per-read SIREAD path.
+  mutable std::mutex serializable_xact_mu_;
   std::unordered_map<XactId, std::unique_ptr<SerializableXact>> xacts_;
-  std::map<TupleTag, std::unordered_set<SerializableXact*>> tuple_locks_;
-  std::map<std::pair<RelationId, PageId>, std::unordered_set<SerializableXact*>>
-      page_locks_;
-  std::unordered_map<RelationId, std::unordered_set<SerializableXact*>>
-      rel_locks_;
 
-  // Mutated under mu_, but read by stats accessors without it: atomic.
+  // Smallest commit_seq among registered committed xacts; lets Cleanup
+  // bail with one atomic load when nothing can be freed yet.
+  std::atomic<uint64_t> min_committed_seq_;
+
+  // Stats: relaxed atomics, incremented from whichever lock context the
+  // event occurs under and read lock-free by accessors.
   std::atomic<uint64_t> page_promotions_{0};
   std::atomic<uint64_t> relation_promotions_{0};
   std::atomic<uint64_t> ssi_aborts_{0};

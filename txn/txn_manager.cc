@@ -8,8 +8,9 @@ namespace pgssi::txn {
 TxnManager::BeginResult TxnManager::Begin(bool serializable_rw) {
   std::lock_guard<std::mutex> l(mu_);
   XactId xid = next_xid_++;
-  active_[xid] = ActiveTxn{last_committed_seq_, serializable_rw};
-  return BeginResult{xid, last_committed_seq_};
+  uint64_t snap = last_committed_seq_.load(std::memory_order_relaxed);
+  active_[xid] = ActiveTxn{snap, serializable_rw};
+  return BeginResult{xid, snap};
 }
 
 uint64_t TxnManager::Commit(XactId xid,
@@ -26,7 +27,7 @@ uint64_t TxnManager::Commit(XactId xid,
   if (stamp) stamp(seq);
   {
     std::lock_guard<std::mutex> l(mu_);
-    last_committed_seq_ = seq;
+    last_committed_seq_.store(seq, std::memory_order_release);
     active_.erase(xid);
   }
   finished_cv_.notify_all();
@@ -39,11 +40,6 @@ void TxnManager::Abort(XactId xid) {
     active_.erase(xid);
   }
   finished_cv_.notify_all();
-}
-
-uint64_t TxnManager::LastCommittedSeq() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return last_committed_seq_;
 }
 
 uint64_t TxnManager::OldestActiveSnapshot() const {

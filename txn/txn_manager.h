@@ -8,6 +8,7 @@
 // sequence number never precedes the visibility of its versions.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -39,7 +40,11 @@ class TxnManager {
 
   void Abort(XactId xid);
 
-  uint64_t LastCommittedSeq() const;
+  /// Lock-free (one atomic load): read on every SSI commit/cleanup and by
+  /// read-only commits, so it must not rejoin the registry mutex.
+  uint64_t LastCommittedSeq() const {
+    return last_committed_seq_.load(std::memory_order_acquire);
+  }
   /// Smallest snapshot among active transactions; UINT64_MAX when none.
   uint64_t OldestActiveSnapshot() const;
   std::vector<XactId> ActiveSerializableRW() const;
@@ -59,7 +64,8 @@ class TxnManager {
   std::condition_variable finished_cv_;
   std::mutex commit_mu_;  // serializes stamp + publish
   XactId next_xid_ = 1;
-  uint64_t last_committed_seq_ = 0;
+  // Written under mu_ (publication ordering), read lock-free.
+  std::atomic<uint64_t> last_committed_seq_{0};
   uint64_t next_commit_seq_ = 0;
   std::unordered_map<XactId, ActiveTxn> active_;
 };

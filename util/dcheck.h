@@ -1,0 +1,74 @@
+// Debug-build invariant checks and a mutex wrapper that can prove it is
+// held. PGSSI_DCHECK compiles away in NDEBUG builds (the default
+// RelWithDebInfo); the TSan preset builds Debug, so the partition-lock
+// assertions in the SIREAD manager run under the sanitizer in CI.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#if !defined(NDEBUG) || defined(PGSSI_FORCE_DCHECK)
+#define PGSSI_DCHECK_IS_ON 1
+#else
+#define PGSSI_DCHECK_IS_ON 0
+#endif
+
+#if PGSSI_DCHECK_IS_ON
+#define PGSSI_DCHECK(cond)                                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "PGSSI_DCHECK failed at %s:%d: %s\n",      \
+                   __FILE__, __LINE__, #cond);                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+#else
+#define PGSSI_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+namespace pgssi {
+
+/// std::mutex plus AssertHeld() in debug builds. Used for the SIREAD
+/// partition locks so internal helpers can assert the owning partition
+/// lock is actually held where the locking protocol requires it.
+class CheckedMutex {
+ public:
+  void lock() {
+    mu_.lock();
+#if PGSSI_DCHECK_IS_ON
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+  void unlock() {
+#if PGSSI_DCHECK_IS_ON
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+    mu_.unlock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+#if PGSSI_DCHECK_IS_ON
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+    return true;
+  }
+  void AssertHeld() const {
+#if PGSSI_DCHECK_IS_ON
+    PGSSI_DCHECK(owner_.load(std::memory_order_relaxed) ==
+                 std::this_thread::get_id());
+#endif
+  }
+
+ private:
+  std::mutex mu_;
+#if PGSSI_DCHECK_IS_ON
+  std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+}  // namespace pgssi

@@ -38,6 +38,12 @@ class Histogram {
     return samples_[i] * (1 - frac) + samples_[i + 1] * frac;
   }
 
+  /// Absorbs another histogram's samples (used to fold per-thread latency
+  /// histograms into one after a multithreaded driver run).
+  void Merge(const Histogram& other) {
+    for (double v : other.samples_) Add(v);
+  }
+
   void Clear() {
     samples_.clear();
     sorted_ = false;

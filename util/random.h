@@ -1,6 +1,14 @@
-// xorshift64* PRNG: fast, per-thread, deterministic under a fixed seed.
+// xorshift64* PRNG: fast, deterministic under a fixed seed.
+//
+// NOT thread-safe: Next() is a plain read-modify-write of state_, so a
+// Random instance shared across benchmark driver threads is a data race
+// (and collapses the period under contention). Give every worker thread
+// its own seeded instance — workload::RunFixedDuration already does —
+// or use ThreadLocalRandom() below when plumbing a per-thread instance
+// through is inconvenient.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace pgssi {
@@ -32,5 +40,18 @@ class Random {
  private:
   uint64_t state_;
 };
+
+/// A lazily constructed thread-local Random. Each thread gets a distinct
+/// seed (global counter mixed with a golden-ratio stride), so concurrent
+/// callers never share generator state. Deterministic per thread creation
+/// order, not across interleavings — benchmarks wanting reproducible
+/// streams should still seed explicit per-thread instances.
+inline Random& ThreadLocalRandom() {
+  static std::atomic<uint64_t> counter{0};
+  thread_local Random rng(
+      (counter.fetch_add(1, std::memory_order_relaxed) + 1) *
+      0x9E3779B97F4A7C15ULL);
+  return rng;
+}
 
 }  // namespace pgssi

@@ -1,0 +1,38 @@
+// Tiny test-and-set spinlock for leaf-level critical sections (a few
+// loads/stores, never blocking I/O or another lock except when the
+// locking order explicitly allows it). Backs the per-SerializableXact
+// held-lock bookkeeping in the partitioned SIREAD manager, where a full
+// std::mutex per transaction would dominate the state it protects.
+//
+// Spins with a pause/yield backoff so an oversubscribed machine (more
+// runnable threads than cores) does not burn whole scheduler quanta.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace pgssi {
+
+class SpinLock {
+ public:
+  void lock() {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace pgssi

@@ -17,13 +17,18 @@ DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
   const uint64_t deadline =
       start + static_cast<uint64_t>(seconds * 1e6);
 
+  std::vector<Histogram> latencies(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; i++) {
     workers.emplace_back([&, i] {
+      // Each worker owns its Random: the generator is not thread-safe.
       Random rng(0x9E3779B9u * static_cast<uint64_t>(i + 1) + 1);
+      Histogram& lat = latencies[static_cast<size_t>(i)];
       while (NowMicros() < deadline) {
+        const uint64_t t0 = NowMicros();
         Status st = fn(i, rng);
+        lat.Add(static_cast<double>(NowMicros() - t0));
         if (st.ok()) {
           committed.fetch_add(1, std::memory_order_relaxed);
         } else if (st.IsSerializationFailure()) {
@@ -41,6 +46,7 @@ DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
   r.serialization_failures = failures.load();
   r.other_errors = errors.load();
   r.seconds = static_cast<double>(NowMicros() - start) / 1e6;
+  for (const Histogram& h : latencies) r.latency_us.Merge(h);
   return r;
 }
 

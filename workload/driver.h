@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -16,6 +17,9 @@ struct DriverResult {
   uint64_t serialization_failures = 0;
   uint64_t other_errors = 0;
   double seconds = 0;
+  // Per-attempt latency in microseconds (committed and failed attempts
+  // alike), folded from per-thread histograms after the run.
+  Histogram latency_us;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
