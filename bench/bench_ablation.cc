@@ -5,9 +5,14 @@
 //      optimization on vs off on a conflict-heavy mix.
 //   C. Read-only snapshot ordering + safe snapshots (Section 4): abort
 //      rate and throughput for a read-heavy SIBENCH mix, on vs off.
+// Emits BENCH_ablation.json (one row per configuration) for the perf
+// trajectory.
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "bench_common.h"
 #include "workload/sibench.h"
 
@@ -36,12 +41,18 @@ DriverResult RunSibench(const DatabaseOptions& opts, uint64_t rows,
 
 int main() {
   const double secs = PointSeconds(1.0);
+  std::vector<BenchRow> rows_out;
+  auto emit = [&rows_out](const std::string& series, int threads,
+                          DriverResult& r) {
+    rows_out.push_back(RowFromDriver(series, threads, r));
+  };
   std::printf("# Ablation A: safe-retry victim selection (Section 5.4)\n");
   for (bool safe_retry : {true, false}) {
     DatabaseOptions opts;
     opts.engine.enable_safe_retry = safe_retry;
     DriverResult r = RunSibench(opts, /*rows=*/20, secs, /*threads=*/4,
                                 /*update_frac=*/0.5);
+    emit(std::string("safe_retry=") + (safe_retry ? "on" : "off"), 4, r);
     std::printf("safe_retry=%-5s  committed=%llu  failures=%llu  "
                 "failure-rate=%.2f%%\n",
                 safe_retry ? "on" : "off",
@@ -57,6 +68,7 @@ int main() {
     opts.engine.enable_commit_ordering_opt = opt;
     DriverResult r = RunSibench(opts, /*rows=*/50, secs, /*threads=*/4,
                                 /*update_frac=*/0.5);
+    emit(std::string("commit_ordering=") + (opt ? "on" : "off"), 4, r);
     std::printf("commit_ordering=%-5s  committed=%llu  failures=%llu  "
                 "failure-rate=%.2f%%\n",
                 opt ? "on" : "off",
@@ -72,6 +84,7 @@ int main() {
     opts.engine.enable_read_only_opt = opt;
     DriverResult r = RunSibench(opts, /*rows=*/1000, secs, /*threads=*/4,
                                 /*update_frac=*/0.1);
+    emit(std::string("read_only_opt=") + (opt ? "on" : "off"), 4, r);
     std::printf("read_only_opt=%-5s  txn/s=%.0f  failures=%llu  "
                 "failure-rate=%.2f%%\n",
                 opt ? "on" : "off", r.Throughput(),
@@ -86,6 +99,7 @@ int main() {
     opts.engine.enable_write_supersedes_siread = opt;
     DriverResult r = RunSibench(opts, /*rows=*/200, secs, /*threads=*/4,
                                 /*update_frac=*/0.9);
+    emit(std::string("write_supersedes=") + (opt ? "on" : "off"), 4, r);
     std::printf("write_supersedes=%-5s  txn/s=%.0f  failure-rate=%.2f%%\n",
                 opt ? "on" : "off", r.Throughput(), r.FailureRate() * 100);
   }
@@ -123,9 +137,13 @@ int main() {
           return txn->Commit();
         },
         4, secs);
+    emit(std::string("gap_locking=") +
+             (mode == IndexGapLocking::kPage ? "page" : "next-key"),
+         4, r);
     std::printf("gap_locking=%-8s  txn/s=%.0f  failure-rate=%.2f%%\n",
                 mode == IndexGapLocking::kPage ? "page" : "next-key",
                 r.Throughput(), r.FailureRate() * 100);
   }
+  WriteBenchJson("ablation", rows_out);
   return 0;
 }

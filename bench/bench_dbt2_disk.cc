@@ -6,9 +6,12 @@
 // mattering and its throughput becomes indistinguishable from SI, while
 // S2PL still pays for blocking; serialization-failure rates stay well
 // under 1% (Section 8.2).
+// Also emits BENCH_dbt2_disk.json (mode/threads/ro-frac rows) for the
+// perf trajectory.
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench_common.h"
 #include "workload/dbt2.h"
 
@@ -30,6 +33,7 @@ int main() {
   std::printf("%-10s %-20s %12s %12s %14s\n", "ro-frac", "mode", "txn/s",
               "normalized", "failure-rate");
 
+  std::vector<BenchRow> rows_out;
   for (double f : ro_fracs) {
     double si_throughput = 0;
     for (Mode m : modes) {
@@ -47,6 +51,10 @@ int main() {
       DriverResult r = RunFixedDuration(
           [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
       if (m == Mode::kSI) si_throughput = r.Throughput();
+      BenchRow row = RowFromDriver(ModeName(m), threads, r);
+      row.extra = {{"ro_frac", f},
+                   {"io_delay_us", static_cast<double>(io_delay_us)}};
+      rows_out.push_back(row);
       std::printf("%-10.0f%% %-19s %12.0f %11.2fx %13.3f%%\n", f * 100,
                   ModeName(m), r.Throughput(),
                   si_throughput > 0 ? r.Throughput() / si_throughput : 1.0,
@@ -54,5 +62,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  WriteBenchJson("dbt2_disk", rows_out);
   return 0;
 }

@@ -7,9 +7,12 @@
 // further behind SI as the read-only share (and hence rw-conflict
 // blocking) grows; at 100% read-only all modes converge (no lock
 // conflicts, all snapshots safe).
+// Also emits BENCH_dbt2_memory.json (mode/threads/ro-frac rows) for the
+// perf trajectory.
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench_common.h"
 #include "workload/dbt2.h"
 
@@ -30,6 +33,7 @@ int main() {
   std::printf("%-10s %-20s %12s %12s %14s\n", "ro-frac", "mode", "txn/s",
               "normalized", "failure-rate");
 
+  std::vector<BenchRow> rows_out;
   for (double f : ro_fracs) {
     double si_throughput = 0;
     for (Mode m : modes) {
@@ -47,6 +51,9 @@ int main() {
       DriverResult r = RunFixedDuration(
           [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
       if (m == Mode::kSI) si_throughput = r.Throughput();
+      BenchRow row = RowFromDriver(ModeName(m), threads, r);
+      row.extra = {{"ro_frac", f}};
+      rows_out.push_back(row);
       std::printf("%-10.0f%% %-19s %12.0f %11.2fx %13.3f%%\n", f * 100,
                   ModeName(m), r.Throughput(),
                   si_throughput > 0 ? r.Throughput() / si_throughput : 1.0,
@@ -54,5 +61,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  WriteBenchJson("dbt2_memory", rows_out);
   return 0;
 }

@@ -6,11 +6,14 @@
 // unbounded starvation. Absolute values depend on transaction lengths; we
 // use the simulated-I/O configuration to get comparable transaction
 // durations.
+// Also emits BENCH_deferrable.json (wait-time percentiles and retry
+// counts) for the perf trajectory.
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench_common.h"
 #include "util/clock.h"
 #include "util/histogram.h"
@@ -76,5 +79,18 @@ int main() {
               static_cast<unsigned long long>(stats.deferrable_retries));
   std::printf("safe snapshots obtained: %llu\n",
               static_cast<unsigned long long>(stats.safe_snapshots));
+
+  // One row: the "latency" percentiles are safe-snapshot WAIT times.
+  BenchRow row;
+  row.series = "deferrable-wait";
+  row.threads = workers;
+  row.ops_per_sec = total_secs > 0 ? samples / total_secs : 0;
+  row.p50_us = waits.Median();
+  row.p99_us = waits.Percentile(99);
+  row.extra = {
+      {"max_wait_us", static_cast<double>(waits.max())},
+      {"retries", static_cast<double>(stats.deferrable_retries)},
+      {"safe_snapshots", static_cast<double>(stats.safe_snapshots)}};
+  WriteBenchJson("deferrable", {row});
   return 0;
 }

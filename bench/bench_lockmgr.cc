@@ -15,9 +15,11 @@
 // and emits machine-readable BENCH_lockmgr.json (see bench_json.h).
 //
 // Flags: --rows=N --write-frac=F --threads=1,2,4,8,16 --partitions=N
-// (--partitions pins the partitioned series' count; the 1-partition
-// baseline always runs for comparison unless --partitions=1).
-// PGSSI_BENCH_SECONDS sets the per-point window (default 1s).
+// --heap-stripes=N (--partitions pins the partitioned series' count; the
+// 1-partition baseline always runs for comparison unless --partitions=1;
+// --heap-stripes sets every series' heap-latch stripe count, 1 = the old
+// one-latch-per-table design). PGSSI_BENCH_SECONDS sets the per-point
+// window (default 1s).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +50,7 @@ struct Config {
   double write_frac = 0.10;
   std::vector<int> threads = {1, 2, 4, 8, 16};
   uint32_t partitions = kLockPartitions;
+  uint32_t heap_stripes = kHeapStripes;
 };
 
 Status RunReadMostly(Database* db, TableId t, const Config& cfg, Random& rng,
@@ -98,6 +101,9 @@ int main(int argc, char** argv) {
       cfg.write_frac = std::atof(a + 13);
     } else if (std::strncmp(a, "--partitions=", 13) == 0) {
       cfg.partitions = static_cast<uint32_t>(std::strtoul(a + 13, nullptr, 10));
+    } else if (std::strncmp(a, "--heap-stripes=", 15) == 0) {
+      cfg.heap_stripes =
+          static_cast<uint32_t>(std::strtoul(a + 15, nullptr, 10));
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       cfg.threads.clear();
       for (const char* p = a + 10; *p;) {
@@ -108,7 +114,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rows=N] [--write-frac=F] [--threads=a,b,...] "
-                   "[--partitions=N]\n",
+                   "[--partitions=N] [--heap-stripes=N]\n",
                    argv[0]);
       return 2;
     }
@@ -122,6 +128,9 @@ int main(int argc, char** argv) {
   ssi_global.engine.lock_partitions = 1;
   DatabaseOptions s2pl;
   s2pl.serializable_impl = SerializableImpl::kS2PL;
+  for (DatabaseOptions* o : {&si_opts, &ssi_part, &ssi_global, &s2pl}) {
+    o->engine.heap_stripes = cfg.heap_stripes;
+  }
 
   std::vector<Series> series = {
       {"SI", IsolationLevel::kRepeatableRead, si_opts},
@@ -167,6 +176,7 @@ int main(int argc, char** argv) {
                    {"write_frac", cfg.write_frac},
                    {"partitions",
                     static_cast<double>(s.opts.engine.lock_partitions)},
+                   {"heap_stripes", static_cast<double>(cfg.heap_stripes)},
                    {"hardware_threads", static_cast<double>(hw)}};
       rows_out.push_back(row);
       std::printf("%-18s %8d %12.0f %9.2f%% %10.1f %10.1f\n", s.name, threads,

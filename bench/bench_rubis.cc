@@ -6,9 +6,12 @@
 // higher failure rate; S2PL roughly half the throughput of SI with the
 // highest failure rate (deadlocks), because category-listing queries
 // conflict with bids.
+// Also emits BENCH_rubis.json (mode/threads/throughput/abort rate/
+// latency percentiles + consistency flag) for the perf trajectory.
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench_common.h"
 #include "workload/rubis.h"
 
@@ -29,6 +32,7 @@ int main() {
   std::printf("%-10s %14s %14s %22s\n", "mode", "req/s", "normalized",
               "serialization-failures");
 
+  std::vector<BenchRow> rows_out;
   double si_throughput = 0;
   for (Mode m : modes) {
     auto db = Database::Open(OptionsFor(m, io_delay_us));
@@ -50,6 +54,10 @@ int main() {
     std::fflush(stdout);
     bool ok = false;
     st = bench.CheckConsistency(&ok);
+    BenchRow row = RowFromDriver(ModeName(m), threads, r);
+    row.extra = {{"io_delay_us", static_cast<double>(io_delay_us)},
+                 {"consistent", ok ? 1.0 : 0.0}};
+    rows_out.push_back(row);
     if (!st.ok() || (!ok && m != Mode::kSI)) {
       // SI may legitimately corrupt the max-bid invariant (that is the
       // point of the paper); serializable modes must not.
@@ -59,5 +67,6 @@ int main() {
       std::printf("  consistency check: %s\n", ok ? "OK" : "violated (SI)");
     }
   }
+  WriteBenchJson("rubis", rows_out);
   return 0;
 }

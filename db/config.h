@@ -17,6 +17,9 @@ namespace pgssi {
 // Default SIREAD lock-table partition count (see EngineConfig).
 inline constexpr uint32_t kLockPartitions = 16;
 
+// Default per-table heap-latch stripe count (see EngineConfig).
+inline constexpr uint32_t kHeapStripes = 64;
+
 enum class IsolationLevel {
   kRepeatableRead,  // plain snapshot isolation
   kSerializable,    // SSI (or S2PL, per DatabaseOptions::serializable_impl)
@@ -42,6 +45,15 @@ struct EngineConfig {
   // Rounded up to a power of two internally; 1 reproduces the old
   // single-global-mutex behavior (the bench_lockmgr A/B baseline).
   uint32_t lock_partitions = kLockPartitions;
+
+  // Number of heap-latch stripes per table. Version chains hash (by
+  // TupleId) onto stripes, so writers of independent keys take
+  // independent latches; only structural index operations (new-key
+  // insert, leaf split, aborted-insert removal) serialize on the
+  // table's index latch. Rounded up to a power of two internally;
+  // 1 reproduces the old one-latch-per-table behavior (the
+  // bench_sibench --heap-stripes=1 A/B baseline).
+  uint32_t heap_stripes = kHeapStripes;
 
   // Section 4: read-only snapshot ordering / safe snapshot optimizations.
   bool enable_read_only_opt = true;

@@ -42,7 +42,8 @@ Status Database::CreateTable(const std::string& name, TableId* id) {
     return Status::AlreadyExists("table " + name);
   }
   TableId tid = static_cast<TableId>(tables_.size() + 1);
-  auto t = std::make_unique<Table>(tid, name, opts_.engine.btree_fanout);
+  auto t = std::make_unique<Table>(tid, name, opts_.engine.btree_fanout,
+                                   opts_.engine.heap_stripes);
   // Section 5.2.2: leaf splits transfer SIREAD predicate locks so moved
   // granules stay covered.
   t->index.SetSplitListener(
@@ -84,6 +85,25 @@ void Database::RunSireadCleanup() {
   uint64_t bound = txn_mgr_.LastCommittedSeq();
   uint64_t oldest = txn_mgr_.OldestActiveSnapshot();
   siread_.Cleanup(std::min(bound, oldest));
+}
+
+size_t Database::LiveTupleChainCount(TableId table) const {
+  Table* tbl = GetTable(table);
+  if (!tbl) return 0;
+  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+  size_t n = 0;
+  for (TupleId tid = 0; tid < tbl->tuples.size(); tid++) {
+    std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+    if (!tbl->tuples[tid].versions.empty()) n++;
+  }
+  return n;
+}
+
+size_t Database::IndexEntryCount(TableId table) const {
+  Table* tbl = GetTable(table);
+  if (!tbl) return 0;
+  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+  return tbl->index.size();
 }
 
 SsiStats Database::GetSsiStats() const {
@@ -170,17 +190,58 @@ Status Transaction::CheckActive() {
 }
 
 void Transaction::AbortInternal() {
-  // Roll back uncommitted versions.
-  for (const WriteRec& w : writes_) {
-    Database::Table* tbl = db_->GetTable(w.table);
-    if (!tbl) continue;
-    std::unique_lock<std::shared_mutex> l(tbl->mu);
-    auto& vs = tbl->tuples[w.tid].versions;
+  // Roll back uncommitted versions. Chains this transaction created
+  // (new-key inserts) are garbage-collected: the index entry is erased
+  // and the chain recycled — leaking them would bloat the heap forever
+  // and distort next-key gap granules for every later reader.
+  auto erase_own = [this](std::vector<Database::Version>& vs) {
     vs.erase(std::remove_if(vs.begin(), vs.end(),
                             [this](const Database::Version& v) {
                               return v.xid == xid_ && v.commit_seq == 0;
                             }),
              vs.end());
+  };
+  for (const WriteRec& w : writes_) {
+    Database::Table* tbl = db_->GetTable(w.table);
+    if (!tbl) continue;
+    if (!w.created) {
+      std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+      std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
+      erase_own(tbl->tuples[w.tid].versions);
+      continue;
+    }
+    // Structural: removing the index entry needs the index latch
+    // exclusively (which also excludes every chain reader/writer, so no
+    // stripe is needed). Only this transaction ever wrote the chain —
+    // the key's exclusive row lock is still held — so an empty chain
+    // after rollback means the entry can go.
+    std::unique_lock<std::shared_mutex> il(tbl->index_mu);
+    Database::TupleChain& chain = tbl->tuples[w.tid];
+    erase_own(chain.versions);
+    if (!chain.versions.empty()) continue;
+    TupleId itid;
+    PageId page;
+    uint32_t slot;
+    if (tbl->index.Lookup(chain.key, &itid, &page, &slot) && itid == w.tid) {
+      tbl->index.Erase(chain.key);
+      // Readers that looked this key up (and found nothing visible) hold
+      // SIREAD locks on the erased granule; future inserts of the key
+      // will probe the gap instead, so transfer the coverage there —
+      // the rejoin mirror of the insert-time gap split.
+      std::string nk;
+      TupleId ntid;
+      PageId npage;
+      uint32_t nslot;
+      if (db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey &&
+          tbl->index.NextKey(chain.key, &nk, &ntid, &npage, &nslot)) {
+        db_->siread_.OnGapTransfer(w.table, page, slot, npage, nslot);
+      } else {
+        db_->siread_.OnGapTransferToPage(w.table, page, slot,
+                                         tbl->index.PageFor(chain.key));
+      }
+    }
+    chain.key.clear();
+    tbl->free_chains.push_back(w.tid);
   }
   writes_.clear();
   if (sxact_) {
@@ -232,7 +293,8 @@ Status Transaction::Commit() {
     uint64_t seq = db_->txn_mgr_.Commit(xid_, [this](uint64_t s) {
       for (const WriteRec& w : writes_) {
         Database::Table* tbl = db_->GetTable(w.table);
-        std::unique_lock<std::shared_mutex> l(tbl->mu);
+        std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+        std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
         for (auto& v : tbl->tuples[w.tid].versions) {
           if (v.xid == xid_ && v.commit_seq == 0) v.commit_seq = s;
         }
@@ -322,7 +384,7 @@ Status Transaction::Get(TableId table, const std::string& key,
     }
   }
 
-  std::shared_lock<std::shared_mutex> l(tbl->mu);
+  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
   TupleId tid;
   PageId page;
   uint32_t slot;
@@ -331,6 +393,7 @@ Status Transaction::Get(TableId table, const std::string& key,
     AcquireGapLock(tbl, key);
     return Status::NotFound("key " + key);
   }
+  std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
   const Database::TupleChain& chain = tbl->tuples[tid];
   int vi = VisibleVersion(chain);
   TrackRead(tbl, chain, vi, page, slot);
@@ -365,7 +428,7 @@ Status Transaction::ScanInternal(
     // then re-read values under the locks.
     std::vector<std::string> keys;
     {
-      std::shared_lock<std::shared_mutex> l(tbl->mu);
+      std::shared_lock<std::shared_mutex> il(tbl->index_mu);
       tbl->index.Scan(lo, hi,
                       [&](const std::string& k, TupleId, PageId, uint32_t) {
                         keys.push_back(k);
@@ -382,12 +445,13 @@ Status Transaction::ScanInternal(
         return st;
       }
     }
-    std::shared_lock<std::shared_mutex> l(tbl->mu);
+    std::shared_lock<std::shared_mutex> il(tbl->index_mu);
     for (const std::string& k : keys) {
       TupleId tid;
       PageId page;
       uint32_t slot;
       if (!tbl->index.Lookup(k, &tid, &page, &slot)) continue;
+      std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
       const Database::TupleChain& chain = tbl->tuples[tid];
       int vi = VisibleVersion(chain);
       if (vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted) {
@@ -397,7 +461,10 @@ Status Transaction::ScanInternal(
     return Status::OK();
   }
 
-  std::shared_lock<std::shared_mutex> l(tbl->mu);
+  // Shared index pass for the whole scan (inserts are excluded, so the
+  // leaf walk is stable); each visited chain takes its stripe for the
+  // duration of the visit only.
+  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
   const bool track = sxact_ && !sxact_->safe_snapshot;
   const bool next_key_mode =
       db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
@@ -405,6 +472,8 @@ Status Transaction::ScanInternal(
   tbl->index.Scan(lo, hi,
                   [&](const std::string& k, TupleId tid, PageId page,
                       uint32_t slot) {
+                    std::shared_lock<std::shared_mutex> sl(
+                        tbl->heap_latch.For(tid));
                     const Database::TupleChain& chain = tbl->tuples[tid];
                     int vi = VisibleVersion(chain);
                     if (track) {
@@ -467,7 +536,8 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
   if (!tbl) return Status::InvalidArgument("no such table");
   SimulatedIoDelay(db_->opts_.engine.simulated_io_delay_us);
 
-  // Row lock first (never while holding the table latch). For SI/SSI this
+  // Row lock first (never while holding the index latch or a stripe). For
+  // SI/SSI this
   // is the blocking half of first-updater-wins; for S2PL it is the
   // exclusive lock held to commit.
   st = db_->row_locks_.Acquire(xid_, table, key, LockTable::Mode::kExclusive,
@@ -484,7 +554,7 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
     // because we already hold the key's exclusive lock.
     bool exists;
     {
-      std::shared_lock<std::shared_mutex> l(tbl->mu);
+      std::shared_lock<std::shared_mutex> il(tbl->index_mu);
       exists = tbl->index.Lookup(key, nullptr, nullptr, nullptr);
     }
     if (!exists || deleted) {
@@ -500,78 +570,106 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
     }
   }
 
-  std::unique_lock<std::shared_mutex> l(tbl->mu);
-  TupleId tid;
-  PageId page;
-  uint32_t slot;
-  if (tbl->index.Lookup(key, &tid, &page, &slot)) {
-    Database::TupleChain& chain = tbl->tuples[tid];
-    if (!use_s2pl_) {
-      // First-updater-wins: a version committed after our snapshot means a
-      // concurrent writer beat us.
-      for (const auto& v : chain.versions) {
-        if (v.commit_seq > snapshot_seq_ && v.commit_seq != 0) {
-          l.unlock();
-          db_->ww_aborts_.fetch_add(1, std::memory_order_relaxed);
-          AbortInternal();
-          return Status::SerializationFailure(
-              "could not serialize access due to concurrent update");
+  // Existing chain: a single-chain write — shared index pass plus the
+  // chain's stripe held exclusively. Writers of independent keys land on
+  // independent stripes and run concurrently.
+  {
+    std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+    TupleId tid;
+    PageId page;
+    uint32_t slot;
+    if (tbl->index.Lookup(key, &tid, &page, &slot)) {
+      std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+      Database::TupleChain& chain = tbl->tuples[tid];
+      if (!use_s2pl_) {
+        // First-updater-wins: a version committed after our snapshot means
+        // a concurrent writer beat us.
+        for (const auto& v : chain.versions) {
+          if (v.commit_seq > snapshot_seq_ && v.commit_seq != 0) {
+            sl.unlock();
+            il.unlock();
+            db_->ww_aborts_.fetch_add(1, std::memory_order_relaxed);
+            AbortInternal();
+            return Status::SerializationFailure(
+                "could not serialize access due to concurrent update");
+          }
         }
       }
+      int vi = VisibleVersion(chain);
+      bool visible_live =
+          vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted;
+      if ((!upsert && !deleted && visible_live) ||
+          (deleted && !visible_live)) {
+        // Statement-level failure — but the statement still READ the
+        // row's (non)existence to fail. Leave exactly the SIREAD lock and
+        // rw-antidependency flags a Get would (Section 5.2: every read,
+        // including reads performed implicitly by writes, must be
+        // tracked), or a concurrent delete/insert of this key misses the
+        // required rw edge and write skew can commit.
+        TrackRead(tbl, chain, vi, page, slot);
+        return visible_live ? Status::AlreadyExists("key " + key)
+                            : Status::NotFound("key " + key);
+      }
+      if (sxact_) {
+        // Probe at the index-reported coordinates: readers lock the
+        // granule the index reports, and a leaf split may have moved the
+        // entry since the chain was created.
+        auto probe = db_->siread_.ProbeHeapWrite(table, page, slot);
+        for (XactId h : probe.holder_xids) {
+          if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+        }
+        if (db_->opts_.engine.enable_write_supersedes_siread) {
+          db_->siread_.ReleaseOwnTuple(sxact_, table, page, slot);
+        }
+        if (db_->siread_.Doomed(sxact_)) {
+          sl.unlock();
+          il.unlock();
+          AbortInternal();
+          return Status::SerializationFailure(
+              "canceled due to rw-antidependency conflict");
+        }
+      }
+      if (!chain.versions.empty() && chain.versions.back().xid == xid_ &&
+          chain.versions.back().commit_seq == 0) {
+        chain.versions.back().value = value;
+        chain.versions.back().deleted = deleted;
+      } else {
+        chain.versions.push_back(Database::Version{value, xid_, 0, deleted});
+        writes_.push_back(WriteRec{table, tid, /*created=*/false});
+      }
+      // Prune stale history nobody can see anymore.
+      if (chain.versions.size() > kPruneChainLength) {
+        uint64_t oldest = db_->txn_mgr_.OldestActiveSnapshot();
+        auto& vs = chain.versions;
+        while (vs.size() > 1 && vs[1].commit_seq != 0 &&
+               vs[1].commit_seq <= oldest) {
+          vs.erase(vs.begin());
+        }
+      }
+      return Status::OK();
     }
-    int vi = VisibleVersion(chain);
-    bool visible_live =
-        vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted;
-    if (!upsert && !deleted && visible_live) {
-      return Status::AlreadyExists("key " + key);  // statement-level failure
-    }
-    if (deleted && !visible_live) {
+    if (deleted) {
+      // Failed Delete of an absent key: the statement read the gap the
+      // key would occupy — lock it exactly as a Get miss does (a shared
+      // index pass suffices), so a concurrent insert of this key
+      // produces the required rw edge.
+      AcquireGapLock(tbl, key);
       return Status::NotFound("key " + key);
     }
-    if (sxact_) {
-      // Probe at the index-reported coordinates: readers lock the granule
-      // the index reports, and a leaf split may have moved the entry since
-      // the chain was created.
-      auto probe = db_->siread_.ProbeHeapWrite(table, page, slot);
-      for (XactId h : probe.holder_xids) {
-        if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
-      }
-      if (db_->opts_.engine.enable_write_supersedes_siread) {
-        db_->siread_.ReleaseOwnTuple(sxact_, table, page, slot);
-      }
-      if (db_->siread_.Doomed(sxact_)) {
-        l.unlock();
-        AbortInternal();
-        return Status::SerializationFailure(
-            "canceled due to rw-antidependency conflict");
-      }
-    }
-    if (!chain.versions.empty() && chain.versions.back().xid == xid_ &&
-        chain.versions.back().commit_seq == 0) {
-      chain.versions.back().value = value;
-      chain.versions.back().deleted = deleted;
-    } else {
-      chain.versions.push_back(Database::Version{value, xid_, 0, deleted});
-      writes_.push_back(WriteRec{table, tid});
-    }
-    // Prune stale history nobody can see anymore.
-    if (chain.versions.size() > kPruneChainLength) {
-      uint64_t oldest = db_->txn_mgr_.OldestActiveSnapshot();
-      auto& vs = chain.versions;
-      while (vs.size() > 1 && vs[1].commit_seq != 0 &&
-             vs[1].commit_seq <= oldest) {
-        vs.erase(vs.begin());
-      }
-    }
-    return Status::OK();
   }
 
-  // New key.
-  if (deleted) return Status::NotFound("key " + key);
+  // New key: a structural change (index insert, possible leaf split, gap
+  // probes) — the only write path that takes the index latch exclusively.
+  // The key's exclusive row lock (held since the preamble) pins its
+  // (non)existence, so the miss observed under the shared latch above
+  // cannot have been raced by another inserter.
+  std::unique_lock<std::shared_mutex> il(tbl->index_mu);
+  const bool next_key_mode =
+      db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
   if (sxact_) {
     // Gap probe: does any reader hold a predicate lock covering the spot
     // this key lands in?
-    if (db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey) {
+    if (next_key_mode) {
       std::string nk;
       TupleId ntid;
       PageId npage;
@@ -583,24 +681,56 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
         }
       }
     }
-    auto probe =
-        db_->siread_.ProbeHeapWrite(table, tbl->index.PageFor(key), kNoSlot);
-    for (XactId h : probe.holder_xids) {
-      if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+    // Page-granule probe over every leaf this key's gap can span: with
+    // erases leaving empty leaves behind, a reader's boundary page lock
+    // (or coverage transferred off an erased granule) may sit on a later
+    // leaf than the one the insert lands on.
+    std::vector<PageId> probe_pages;
+    tbl->index.ProbePages(key, &probe_pages);
+    for (PageId pp : probe_pages) {
+      auto probe = db_->siread_.ProbeHeapWrite(table, pp, kNoSlot);
+      for (XactId h : probe.holder_xids) {
+        if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+      }
     }
     if (db_->siread_.Doomed(sxact_)) {
-      l.unlock();
+      il.unlock();
       AbortInternal();
       return Status::SerializationFailure(
           "canceled due to rw-antidependency conflict");
     }
   }
-  TupleId tid2 = tbl->tuples.size();
-  tbl->tuples.push_back(Database::TupleChain{key, {}});
-  tbl->index.Insert(key, tid2, /*page=*/nullptr);
+  TupleId tid2;
+  if (!tbl->free_chains.empty()) {
+    // Recycle a chain whose creating insert aborted.
+    tid2 = tbl->free_chains.back();
+    tbl->free_chains.pop_back();
+    tbl->tuples[tid2].key = key;
+  } else {
+    tid2 = tbl->tuples.size();
+    tbl->tuples.push_back(Database::TupleChain{key, {}});
+  }
+  PageId ipage;
+  uint32_t islot;
+  tbl->index.Insert(key, tid2, &ipage, &islot);
   tbl->tuples[tid2].versions.push_back(
       Database::Version{value, xid_, 0, false});
-  writes_.push_back(WriteRec{table, tid2});
+  writes_.push_back(WriteRec{table, tid2, /*created=*/true});
+  if (next_key_mode) {
+    // This insert split the gap it landed in: a reader's next-key gap
+    // lock sits on the OLD successor's granule, but a second insert into
+    // the lower sub-gap will probe the NEW entry instead. Mirror
+    // OnPageSplit: copy the old next-key granule's holders onto the new
+    // entry's granule. Re-resolve the successor after the insert — a
+    // leaf split during Insert may have relocated it (and its locks).
+    std::string nk;
+    TupleId ntid;
+    PageId npage;
+    uint32_t nslot;
+    if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot)) {
+      db_->siread_.OnGapTransfer(table, npage, nslot, ipage, islot);
+    }
+  }
   return Status::OK();
 }
 

@@ -28,6 +28,7 @@
 #include "ssi/siread_lock_manager.h"
 #include "txn/txn_manager.h"
 #include "util/status.h"
+#include "util/striped_latch.h"
 #include "util/types.h"
 
 namespace pgssi {
@@ -48,6 +49,14 @@ class Database {
   SsiStats GetSsiStats() const;
   const DatabaseOptions& options() const { return opts_; }
 
+  // ----- test/debug introspection -----
+  /// Chains holding at least one version (i.e. not recycled/empty).
+  size_t LiveTupleChainCount(TableId table) const;
+  /// Entries currently present in the table's B+-tree.
+  size_t IndexEntryCount(TableId table) const;
+  /// Cross-checks the SIREAD lock tables against holder bookkeeping.
+  bool CheckSsiLockConsistency() const { return siread_.CheckConsistency(); }
+
  private:
   friend class Transaction;
 
@@ -65,14 +74,28 @@ class Database {
     std::string key;
     std::vector<Version> versions;  // oldest first
   };
+  // Two-level table latching (lock order: index_mu > heap stripe >
+  // SIREAD partition):
+  //  - index_mu guards the B+-tree structure and the tuples container
+  //    layout. Readers and single-chain writers take it SHARED; only
+  //    structural operations — new-key insert (with its gap probe and
+  //    possible leaf split), aborted-insert removal — take it exclusive.
+  //  - heap_latch stripes (hash of TupleId) guard chain content: chain
+  //    readers take their stripe shared, chain writers exclusive. This
+  //    is what lets writers of independent keys run concurrently.
+  // free_chains recycles TupleIds of chains whose creating insert
+  // aborted (the index entry is removed on rollback); guarded by
+  // index_mu held exclusively.
   struct Table {
-    Table(TableId i, std::string n, uint32_t fanout)
-        : id(i), name(std::move(n)), index(fanout) {}
+    Table(TableId i, std::string n, uint32_t fanout, uint32_t stripes)
+        : id(i), name(std::move(n)), index(fanout), heap_latch(stripes) {}
     TableId id;
     std::string name;
-    mutable std::shared_mutex mu;  // guards index + tuples
-    BTree index;                   // key -> TupleId (+ page/slot granule)
+    mutable std::shared_mutex index_mu;
+    BTree index;  // key -> TupleId (+ page/slot granule)
     std::deque<TupleChain> tuples;
+    std::vector<TupleId> free_chains;
+    StripedLatch heap_latch;
   };
 
   explicit Database(const DatabaseOptions& opts);
@@ -129,6 +152,9 @@ class Transaction {
   struct WriteRec {
     TableId table;
     TupleId tid;
+    // This statement created the chain (new-key insert): rollback must
+    // also remove the index entry and recycle the chain.
+    bool created = false;
   };
 
   Status CheckActive();
@@ -148,7 +174,8 @@ class Transaction {
   void TrackRead(Database::Table* tbl, const Database::TupleChain& chain,
                  int visible_idx, PageId page, uint32_t slot);
   // SIREAD-lock the gap `key` falls into (next-key tuple or leaf page,
-  // per EngineConfig::index_gap_locking). Caller holds the table latch.
+  // per EngineConfig::index_gap_locking). Caller holds the index latch
+  // (shared suffices: only the index is consulted).
   void AcquireGapLock(Database::Table* tbl, const std::string& key);
 
   Database* db_;

@@ -76,6 +76,36 @@ PageId BTree::PageFor(const std::string& key) const {
   return FindLeaf(key)->page_id;
 }
 
+void BTree::ProbePages(const std::string& key,
+                       std::vector<PageId>* pages) const {
+  Leaf* l = FindLeaf(key);
+  while (l) {
+    pages->push_back(l->page_id);
+    // The first leaf holding an entry greater than `key` bounds the gap
+    // on the right; nothing past it can cover this insert.
+    if (std::upper_bound(l->keys.begin(), l->keys.end(), key) !=
+        l->keys.end()) {
+      return;
+    }
+    l = l->next;
+  }
+}
+
+bool BTree::Erase(const std::string& key) {
+  Leaf* l = FindLeaf(key);
+  auto it = std::lower_bound(l->keys.begin(), l->keys.end(), key);
+  if (it == l->keys.end() || *it != key) return false;
+  size_t i = static_cast<size_t>(it - l->keys.begin());
+  l->keys.erase(l->keys.begin() + static_cast<long>(i));
+  l->tids.erase(l->tids.begin() + static_cast<long>(i));
+  l->slots.erase(l->slots.begin() + static_cast<long>(i));
+  size_--;
+  // Underfull (even empty) leaves are fine: FindLeaf still routes through
+  // them, scans and NextKey skip them via the leaf chain, and keeping the
+  // page alive keeps every survivor's (page, slot) granule valid.
+  return true;
+}
+
 bool BTree::Insert(const std::string& key, TupleId tid, PageId* page,
                    uint32_t* slot) {
   Leaf* l = FindLeaf(key);

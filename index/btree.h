@@ -23,6 +23,12 @@ class BTree {
   // moved slot must be transferred to (new_page, slot) — slot numbers
   // travel with their entries — and page locks on old_page must also
   // cover new_page.
+  //
+  // Reentrancy contract: the listener fires from inside Insert(), with
+  // the caller's exclusive index latch held. It must not touch the tree
+  // (no Lookup/Scan/Insert/Erase) and must not acquire the index latch —
+  // it may only take locks that come *after* the index latch in the
+  // engine's lock order (SIREAD partition locks, per-xact spinlocks).
   using SplitListener = std::function<void(
       PageId old_page, PageId new_page, const std::vector<uint32_t>& moved_slots)>;
 
@@ -42,9 +48,24 @@ class BTree {
   bool Lookup(const std::string& key, TupleId* tid, PageId* page,
               uint32_t* slot = nullptr) const;
 
+  /// Removes the entry for `key`; returns false if absent. The leaf keeps
+  /// its PageId and is never merged or rebalanced, and slot numbers are
+  /// never reused, so granule coordinates of surviving entries — and of
+  /// SIREAD locks held on the erased granule — stay stable.
+  bool Erase(const std::string& key);
+
   /// The leaf page where `key` lives or would be inserted. Used for
   /// index-gap (phantom) locking of empty ranges and insert probes.
   PageId PageFor(const std::string& key) const;
+
+  /// The pages a new-key insert of `key` must probe for page-granule
+  /// predicate locks: the leaf `key` routes to and every following leaf
+  /// up to and including the one holding `key`'s successor (to the end
+  /// of the chain when no successor exists). A single page unless the
+  /// gap spans a leaf boundary — in particular across leaves Erase left
+  /// empty, where a reader's boundary page lock may sit on a later leaf
+  /// than the one the insert lands on.
+  void ProbePages(const std::string& key, std::vector<PageId>* pages) const;
 
   /// In-order scan of [lo, hi] (inclusive). fn returns false to stop early.
   void Scan(const std::string& lo, const std::string& hi,

@@ -281,8 +281,10 @@ ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
   }
   // Relation granules live in their own partition; skip the second lock
   // while no relation lock exists anywhere. A relation lock appearing
-  // concurrently cannot be missed for a conflicting access: reads and
-  // writes of the same table are serialized by the table latch.
+  // concurrently cannot be missed for a conflicting access: conflicting
+  // accesses to one tuple are serialized by its heap stripe (gap reads
+  // vs inserts by the index latch), and escalation installs the coarse
+  // relation lock — and bumps the count — before retiring fine locks.
   if (rel_lock_count_.load(std::memory_order_acquire) > 0) {
     Partition& rp = PartitionForRelation(rel);
     std::lock_guard<CheckedMutex> pl(rp.mu);
@@ -344,6 +346,78 @@ void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
       if (h->held_pages[rel].insert(new_page).second) {
         Q.page_locks[{rel, new_page}].insert(h);
       }
+    }
+  }
+}
+
+void SireadLockManager::OnGapTransfer(RelationId rel, PageId from_page,
+                                      uint32_t from_slot, PageId to_page,
+                                      uint32_t to_slot) {
+  GapTransferInternal(rel, from_page, from_slot, to_page, to_slot,
+                      /*to_page_granule=*/false);
+}
+
+void SireadLockManager::OnGapTransferToPage(RelationId rel, PageId from_page,
+                                            uint32_t from_slot,
+                                            PageId to_page) {
+  GapTransferInternal(rel, from_page, from_slot, to_page, /*to_slot=*/0,
+                      /*to_page_granule=*/true);
+}
+
+void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
+                                            uint32_t from_slot, PageId to_page,
+                                            uint32_t to_slot,
+                                            bool to_page_granule) {
+  const size_t fi = PartitionIndex(rel, from_page);
+  const size_t ti = PartitionIndex(rel, to_page);
+  Partition& F = partitions_[fi];
+  Partition& T = partitions_[ti];
+  // Same canonical-index-order nesting as OnPageSplit, so concurrent
+  // structural transfers (other tables' splits) cannot deadlock.
+  std::unique_lock<CheckedMutex> l1(partitions_[std::min(fi, ti)].mu);
+  std::unique_lock<CheckedMutex> l2;
+  if (fi != ti) {
+    l2 = std::unique_lock<CheckedMutex>(partitions_[std::max(fi, ti)].mu);
+  }
+
+  // Candidates: tuple-granule holders of the source entry, plus — only
+  // when the target page differs — page-granule holders of the source
+  // page, whose coverage would otherwise stop at the page boundary.
+  std::vector<SerializableXact*> candidates;
+  if (auto it = F.tuple_locks.find({rel, from_page, from_slot});
+      it != F.tuple_locks.end()) {
+    candidates.assign(it->second.begin(), it->second.end());
+  }
+  if (from_page != to_page) {
+    if (auto it = F.page_locks.find({rel, from_page});
+        it != F.page_locks.end()) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+  }
+
+  for (SerializableXact* h : candidates) {
+    if (h->aborted.load(std::memory_order_acquire)) continue;
+    std::lock_guard<SpinLock> hl(h->held_mu);
+    // A holder whose final release has begun is dropped, not copied: its
+    // release sweep may already be past the target partition.
+    if (h->defunct.load(std::memory_order_relaxed)) continue;
+    if (h->held_relations.count(rel)) continue;  // coarser lock covers it
+    auto hp = h->held_pages.find(rel);
+    const bool has_to_page =
+        hp != h->held_pages.end() && hp->second.count(to_page);
+    if (to_page_granule) {
+      if (has_to_page) continue;
+      h->held_pages[rel].insert(to_page);
+      T.page_locks[{rel, to_page}].insert(h);
+    } else {
+      if (has_to_page) continue;  // page granule already covers the slot
+      auto& slots = h->held_tuples[{rel, to_page}];
+      if (std::find(slots.begin(), slots.end(), to_slot) != slots.end()) {
+        continue;
+      }
+      slots.push_back(to_slot);
+      T.tuple_locks[{rel, to_page, to_slot}].insert(h);
     }
   }
 }

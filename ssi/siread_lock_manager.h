@@ -131,6 +131,28 @@ class SireadLockManager {
   void OnPageSplit(RelationId rel, PageId old_page, PageId new_page,
                    const std::vector<uint32_t>& moved_slots);
 
+  /// Predicate-coverage transfer when an index entry subdivides or
+  /// rejoins a gap (the Section 5.2 structural-change family, sibling of
+  /// OnPageSplit):
+  ///  - an insert lands inside a gap: every holder covering the old
+  ///    next-key granule (`from`) must also cover the new entry's
+  ///    granule (`to`), or a second insert into the lower sub-gap probes
+  ///    the new entry and misses them;
+  ///  - an aborted insert's index entry is removed: holders of the
+  ///    erased granule must move onto the granule future inserts of that
+  ///    key will probe (its new next-key entry, or — via the ...ToPage
+  ///    variant — the leaf page when no successor entry exists).
+  /// Copies (never moves: the old granule may still be a live entry)
+  /// tuple-granule holders of (from_page, from_slot) plus, when the
+  /// pages differ, page-granule holders of from_page — their page lock
+  /// does not reach to_page. May take two partition locks, in canonical
+  /// index order. The caller must hold the latch serializing index
+  /// structure changes for this relation.
+  void OnGapTransfer(RelationId rel, PageId from_page, uint32_t from_slot,
+                     PageId to_page, uint32_t to_slot);
+  void OnGapTransferToPage(RelationId rel, PageId from_page,
+                           uint32_t from_slot, PageId to_page);
+
   // ----- conflict flagging + dangerous structure (Sections 3.1-3.3) -----
   /// Record reader -rw-> writer. May doom one of the parties if this edge
   /// completes a dangerous structure that can no longer resolve safely.
@@ -238,6 +260,13 @@ class SireadLockManager {
   // escalation in relation_promotions_.
   void AcquireRelationInternal(SerializableXact* x, RelationId rel,
                                bool from_promotion);
+
+  // Shared core of OnGapTransfer / OnGapTransferToPage. When
+  // `to_page_granule` is set the holders are installed as a page lock on
+  // to_page and `to_slot` is ignored.
+  void GapTransferInternal(RelationId rel, PageId from_page,
+                           uint32_t from_slot, PageId to_page,
+                           uint32_t to_slot, bool to_page_granule);
 
   /// Marks x defunct and removes every SIREAD entry it holds from the
   /// partition tables. After this returns, no other thread can reach x
