@@ -11,15 +11,26 @@
 //                    honest same-binary A/B baseline
 //   S2PL             SERIALIZABLE via strict two-phase locking
 //
-// Prints a table, reports the 8-thread partitioned-vs-global speedup,
-// and emits machine-readable BENCH_lockmgr.json (see bench_json.h).
+// Second section: conflict-graph locking A/B — a high-conflict
+// write-skew mix (every transaction reads both members of a random pair
+// and conditionally updates one, so rw-antidependency edges form at a
+// high rate and throughput is bounded by the conflict path, not the
+// SIREAD read path) under fine-grained per-xact edge locks
+// (EngineConfig::conflict_lock_mode=1, default) vs the old global
+// conflict mutex (=0).
+//
+// Prints a table, reports the 8-thread partitioned-vs-global and
+// fine-vs-global-conflict speedups, and emits machine-readable
+// BENCH_lockmgr.json (see bench_json.h).
 //
 // Flags: --rows=N --write-frac=F --threads=1,2,4,8,16 --partitions=N
-// --heap-stripes=N (--partitions pins the partitioned series' count; the
-// 1-partition baseline always runs for comparison unless --partitions=1;
-// --heap-stripes sets every series' heap-latch stripe count, 1 = the old
-// one-latch-per-table design). PGSSI_BENCH_SECONDS sets the per-point
-// window (default 1s).
+// --heap-stripes=N --conflict-lock-mode=N (--partitions pins the
+// partitioned series' count; the 1-partition baseline always runs for
+// comparison unless --partitions=1; --heap-stripes sets every series'
+// heap-latch stripe count, 1 = the old one-latch-per-table design;
+// --conflict-lock-mode sets the main SSI series' conflict-graph locking,
+// and the write-skew section always runs both settings).
+// PGSSI_BENCH_SECONDS sets the per-point window (default 1s).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +62,8 @@ struct Config {
   std::vector<int> threads = {1, 2, 4, 8, 16};
   uint32_t partitions = kLockPartitions;
   uint32_t heap_stripes = kHeapStripes;
+  uint32_t conflict_lock_mode = 1;
+  uint64_t skew_pairs = 16;
 };
 
 Status RunReadMostly(Database* db, TableId t, const Config& cfg, Random& rng,
@@ -89,6 +102,78 @@ bool Load(Database* db, uint64_t rows, TableId* t) {
   return txn->Commit().ok();
 }
 
+// High-conflict write skew: read both members of a random pair, withdraw
+// from one if the pair's sum allows. Nearly every transaction flags rw
+// edges and runs the dangerous-structure tests, so this series is
+// bounded by the conflict-graph path the per-xact edge locks split.
+Status RunWriteSkew(Database* db, TableId t, const Config& cfg, Random& rng) {
+  uint64_t pair = rng.Uniform(cfg.skew_pairs);
+  std::string ka = "p" + std::to_string(pair) + "a";
+  std::string kb = "p" + std::to_string(pair) + "b";
+  auto txn = db->Begin({.isolation = IsolationLevel::kSerializable});
+  std::string va, vb;
+  Status st = txn->Get(t, ka, &va);
+  if (st.ok()) st = txn->Get(t, kb, &vb);
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  int a = std::atoi(va.c_str());
+  int b = std::atoi(vb.c_str());
+  // Withdraw while the sum allows, deposit once it is exhausted: every
+  // transaction reads both keys and writes one, so the conflict rate
+  // never decays as balances drain.
+  const std::string& victim = rng.Bernoulli(0.5) ? ka : kb;
+  const int old_v = victim == ka ? a : b;
+  const int new_v = a + b >= 100 ? old_v - 100 : old_v + 100;
+  st = txn->Put(t, victim, std::to_string(new_v));
+  if (!st.ok()) {
+    (void)txn->Abort();
+    return st;
+  }
+  return txn->Commit();
+}
+
+// One conflict-lock-mode point series of the write-skew A/B. Reloads the
+// pairs for every thread count so aborted balances don't drift across
+// points.
+void RunConflictSkewSeries(const Config& cfg, uint32_t mode, double secs,
+                           std::vector<BenchRow>* rows_out, double* ops8) {
+  char series[48];
+  std::snprintf(series, sizeof(series), "SSI-skew/conflict=%s",
+                mode != 0 ? "fine" : "global");
+  for (int threads : cfg.threads) {
+    DatabaseOptions opts;
+    opts.engine.heap_stripes = cfg.heap_stripes;
+    opts.engine.conflict_lock_mode = mode;
+    auto db = Database::Open(opts);
+    TableId t;
+    if (!db->CreateTable("skew", &t).ok()) std::abort();
+    {
+      auto txn = db->Begin({.isolation = IsolationLevel::kRepeatableRead});
+      for (uint64_t p = 0; p < cfg.skew_pairs; p++) {
+        if (!txn->Put(t, "p" + std::to_string(p) + "a", "60").ok() ||
+            !txn->Put(t, "p" + std::to_string(p) + "b", "60").ok()) {
+          std::abort();
+        }
+      }
+      if (!txn->Commit().ok()) std::abort();
+    }
+    DriverResult r = RunFixedDuration(
+        [&](int, Random& rng) { return RunWriteSkew(db.get(), t, cfg, rng); },
+        threads, secs);
+    BenchRow row = RowFromDriver(series, threads, r);
+    row.extra = {{"conflict_lock_mode", static_cast<double>(mode)},
+                 {"skew_pairs", static_cast<double>(cfg.skew_pairs)},
+                 {"heap_stripes", static_cast<double>(cfg.heap_stripes)}};
+    rows_out->push_back(row);
+    std::printf("%-18s %8d %12.0f %9.2f%% %10.1f %10.1f\n", series, threads,
+                row.ops_per_sec, row.abort_rate * 100, row.p50_us, row.p99_us);
+    std::fflush(stdout);
+    if (threads == 8 && ops8) *ops8 = row.ops_per_sec;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +189,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(a, "--heap-stripes=", 15) == 0) {
       cfg.heap_stripes =
           static_cast<uint32_t>(std::strtoul(a + 15, nullptr, 10));
+    } else if (std::strncmp(a, "--conflict-lock-mode=", 21) == 0) {
+      cfg.conflict_lock_mode =
+          static_cast<uint32_t>(std::strtoul(a + 21, nullptr, 10));
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       cfg.threads.clear();
       for (const char* p = a + 10; *p;) {
@@ -114,7 +202,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rows=N] [--write-frac=F] [--threads=a,b,...] "
-                   "[--partitions=N] [--heap-stripes=N]\n",
+                   "[--partitions=N] [--heap-stripes=N] "
+                   "[--conflict-lock-mode=N]\n",
                    argv[0]);
       return 2;
     }
@@ -130,6 +219,7 @@ int main(int argc, char** argv) {
   s2pl.serializable_impl = SerializableImpl::kS2PL;
   for (DatabaseOptions* o : {&si_opts, &ssi_part, &ssi_global, &s2pl}) {
     o->engine.heap_stripes = cfg.heap_stripes;
+    o->engine.conflict_lock_mode = cfg.conflict_lock_mode;
   }
 
   std::vector<Series> series = {
@@ -177,6 +267,8 @@ int main(int argc, char** argv) {
                    {"partitions",
                     static_cast<double>(s.opts.engine.lock_partitions)},
                    {"heap_stripes", static_cast<double>(cfg.heap_stripes)},
+                   {"conflict_lock_mode",
+                    static_cast<double>(cfg.conflict_lock_mode)},
                    {"hardware_threads", static_cast<double>(hw)}};
       rows_out.push_back(row);
       std::printf("%-18s %8d %12.0f %9.2f%% %10.1f %10.1f\n", s.name, threads,
@@ -198,6 +290,28 @@ int main(int argc, char** argv) {
         "%.2fx\n",
         part8 / global8);
   }
+
+  std::printf(
+      "\n# Conflict-graph locking A/B: high-conflict write skew, %llu pairs "
+      "(fine per-xact edge locks vs global conflict mutex)\n",
+      static_cast<unsigned long long>(cfg.skew_pairs));
+  if (hw < 2) {
+    std::printf(
+        "# NOTE: single-core machine — the conflict-path split cannot show "
+        "its multicore win here.\n");
+  }
+  std::printf("%-18s %8s %12s %10s %10s %10s\n", "series", "threads", "txn/s",
+              "abort%", "p50us", "p99us");
+  double fine8 = 0, cglobal8 = 0;
+  RunConflictSkewSeries(cfg, /*mode=*/1, secs, &rows_out, &fine8);
+  RunConflictSkewSeries(cfg, /*mode=*/0, secs, &rows_out, &cglobal8);
+  if (fine8 > 0 && cglobal8 > 0) {
+    std::printf(
+        "# 8-thread write-skew speedup, fine-grained vs global conflict "
+        "lock: %.2fx\n",
+        fine8 / cglobal8);
+  }
+
   WriteBenchJson("lockmgr", rows_out);
   return 0;
 }

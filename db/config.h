@@ -55,6 +55,16 @@ struct EngineConfig {
   // bench_sibench --heap-stripes=1 A/B baseline).
   uint32_t heap_stripes = kHeapStripes;
 
+  // Conflict-graph locking (the rw-antidependency edge lists, sticky
+  // summary flags, and dangerous-structure tests). 1 (default) = the
+  // PostgreSQL-style fine-grained design: a per-SerializableXact edge
+  // lock, acquired in ascending-xid order for the <=2 parties of an
+  // edge, with the registry lock taken shared on the flagging path and
+  // exclusive only for xact registration/teardown. 0 = the old design:
+  // one global mutex around every conflict-graph operation, kept as a
+  // same-binary A/B baseline (bench_lockmgr --conflict-lock-mode=0).
+  uint32_t conflict_lock_mode = 1;
+
   // Section 4: read-only snapshot ordering / safe snapshot optimizations.
   bool enable_read_only_opt = true;
 

@@ -79,9 +79,11 @@ void Database::RunSireadCleanup() {
   // thread can compute it (say, infinity, with nothing active), stall,
   // and apply it much later, freeing SIREAD state of transactions that
   // committed in the meantime while a concurrent reader is live. Any
-  // transaction with commit_seq <= the pre-read bound committed before
-  // the bound was read, so every transaction that could pin it was
-  // already registered when OldestActiveSnapshot was computed.
+  // transaction with commit_seq <= the pre-read bound was published
+  // before the bound was read; a transaction the registry scan then
+  // missed registered after the scan visited its shard, so its snapshot
+  // reload (ordered after registration by the shard mutex) observed a
+  // watermark >= the bound — it is not concurrent with anything freed.
   uint64_t bound = txn_mgr_.LastCommittedSeq();
   uint64_t oldest = txn_mgr_.OldestActiveSnapshot();
   siread_.Cleanup(std::min(bound, oldest));

@@ -56,6 +56,10 @@ class Database {
   size_t IndexEntryCount(TableId table) const;
   /// Cross-checks the SIREAD lock tables against holder bookkeeping.
   bool CheckSsiLockConsistency() const { return siread_.CheckConsistency(); }
+  /// SIREAD lock-table entry counts (the gap-transfer growth-bound
+  /// regression asserts on these).
+  size_t SireadTupleLockCount() const { return siread_.TupleLockCount(); }
+  size_t SireadPageLockCount() const { return siread_.PageLockCount(); }
 
  private:
   friend class Transaction;

@@ -27,6 +27,7 @@ uint64_t MixHash(uint64_t h) {
 
 SireadLockManager::SireadLockManager(const EngineConfig& cfg)
     : cfg_(cfg),
+      fine_locking_(cfg.conflict_lock_mode != 0),
       partition_count_(RoundUpPow2(std::min<size_t>(
           kMaxPartitions, std::max<uint32_t>(1, cfg.lock_partitions)))),
       partition_mask_(partition_count_ - 1),
@@ -34,6 +35,79 @@ SireadLockManager::SireadLockManager(const EngineConfig& cfg)
       min_committed_seq_(kInf) {}
 
 SireadLockManager::~SireadLockManager() = default;
+
+// ---------------------------------------------------------------------------
+// Conflict-graph locking guards (EngineConfig::conflict_lock_mode A/B)
+//
+// Fine mode: the registry lock is taken SHARED on the conflict path — it
+// only pins xacts_ membership (teardown takes it exclusive) — and the
+// per-xact edge locks provide mutual exclusion, pairs always in
+// ascending-xid order. Global mode: the registry lock is taken EXCLUSIVE
+// everywhere and the edge guards are no-ops, reproducing the old
+// one-mutex-around-everything design as an honest same-binary baseline.
+// ---------------------------------------------------------------------------
+
+class SireadLockManager::RegistryReadLock {
+ public:
+  explicit RegistryReadLock(const SireadLockManager* m) : m_(m) {
+    if (m_->fine_locking_) {
+      m_->registry_mu_.lock_shared();
+    } else {
+      m_->registry_mu_.lock();
+    }
+  }
+  ~RegistryReadLock() {
+    if (m_->fine_locking_) {
+      m_->registry_mu_.unlock_shared();
+    } else {
+      m_->registry_mu_.unlock();
+    }
+  }
+  RegistryReadLock(const RegistryReadLock&) = delete;
+  RegistryReadLock& operator=(const RegistryReadLock&) = delete;
+
+ private:
+  const SireadLockManager* m_;
+};
+
+class SireadLockManager::EdgeLock {
+ public:
+  EdgeLock(const SireadLockManager* m, SerializableXact* x)
+      : x_(m->fine_locking_ ? x : nullptr) {
+    if (x_) x_->edge_mu.lock();
+  }
+  ~EdgeLock() {
+    if (x_) x_->edge_mu.unlock();
+  }
+  EdgeLock(const EdgeLock&) = delete;
+  EdgeLock& operator=(const EdgeLock&) = delete;
+
+ private:
+  SerializableXact* x_;
+};
+
+class SireadLockManager::EdgePairLock {
+ public:
+  EdgePairLock(const SireadLockManager* m, SerializableXact* a,
+               SerializableXact* b) {
+    if (!m->fine_locking_) return;  // covered by the exclusive registry lock
+    lo_ = a->xid <= b->xid ? a : b;
+    hi_ = a->xid <= b->xid ? b : a;
+    lo_->edge_mu.lock();
+    if (hi_ != lo_) hi_->edge_mu.lock();
+  }
+  ~EdgePairLock() {
+    if (lo_ == nullptr) return;
+    if (hi_ != lo_) hi_->edge_mu.unlock();
+    lo_->edge_mu.unlock();
+  }
+  EdgePairLock(const EdgePairLock&) = delete;
+  EdgePairLock& operator=(const EdgePairLock&) = delete;
+
+ private:
+  SerializableXact* lo_ = nullptr;
+  SerializableXact* hi_ = nullptr;
+};
 
 size_t SireadLockManager::PartitionIndex(RelationId rel, PageId page) const {
   return static_cast<size_t>(MixHash(
@@ -51,7 +125,7 @@ size_t SireadLockManager::PartitionIndexForRelation(RelationId rel) const {
 
 SerializableXact* SireadLockManager::Register(XactId xid, uint64_t snapshot_seq,
                                               bool read_only) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  std::unique_lock<std::shared_mutex> l(registry_mu_);
   auto x = std::make_unique<SerializableXact>();
   x->xid = xid;
   x->snapshot_seq = snapshot_seq;
@@ -62,7 +136,7 @@ SerializableXact* SireadLockManager::Register(XactId xid, uint64_t snapshot_seq,
 }
 
 SerializableXact* SireadLockManager::Find(XactId xid) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  RegistryReadLock l(this);
   auto it = xacts_.find(xid);
   return it == xacts_.end() ? nullptr : it->second.get();
 }
@@ -78,6 +152,23 @@ SerializableXact* SireadLockManager::Find(XactId xid) {
 // entries are only ever removed together with their held-list twin, so
 // the bookkeeping invariant holds at every instant.
 // ---------------------------------------------------------------------------
+
+bool SireadLockManager::PromoteTuplesToPageLocked(Partition& p, RelationId rel,
+                                                  PageId page,
+                                                  SerializableXact* x) {
+  p.mu.AssertHeld();
+  auto ht = x->held_tuples.find({rel, page});
+  if (ht != x->held_tuples.end()) {
+    for (uint32_t s : ht->second) EraseTupleHolder(p, rel, page, s, x);
+    x->held_tuples.erase(ht);
+  }
+  page_promotions_.fetch_add(1, std::memory_order_relaxed);
+  auto& pages = x->held_pages[rel];
+  if (pages.insert(page).second) {
+    p.page_locks[{rel, page}].insert(x);
+  }
+  return pages.size() > cfg_.max_pages_per_relation;
+}
 
 void SireadLockManager::EraseTupleHolder(Partition& p, RelationId rel,
                                          PageId page, uint32_t slot,
@@ -133,14 +224,7 @@ void SireadLockManager::AcquireTuple(SerializableXact* x, RelationId rel,
     if (slots.size() > cfg_.max_locks_per_page) {
       // Promote: replace this xact's tuple locks on the page with one page
       // lock (escalation never loses information, only precision).
-      for (uint32_t s : slots) EraseTupleHolder(p, rel, page, s, x);
-      x->held_tuples.erase({rel, page});
-      page_promotions_.fetch_add(1, std::memory_order_relaxed);
-      auto& pages = x->held_pages[rel];
-      if (pages.insert(page).second) {
-        p.page_locks[{rel, page}].insert(x);
-        need_relation_promotion = pages.size() > cfg_.max_pages_per_relation;
-      }
+      need_relation_promotion = PromoteTuplesToPageLocked(p, rel, page, x);
     }
   }
   if (need_relation_promotion) {
@@ -395,9 +479,16 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
                         it->second.end());
     }
   }
+  // A holder can appear through both sources; process it once.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
 
   for (SerializableXact* h : candidates) {
     if (h->aborted.load(std::memory_order_acquire)) continue;
+    // A doomed holder can never commit, so no serializable execution
+    // depends on its coverage: skip it instead of growing its granules.
+    if (h->doomed.load(std::memory_order_acquire)) continue;
     std::lock_guard<SpinLock> hl(h->held_mu);
     // A holder whose final release has begun is dropped, not copied: its
     // release sweep may already be past the target partition.
@@ -418,6 +509,16 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
       }
       slots.push_back(to_slot);
       T.tuple_locks[{rel, to_page, to_slot}].insert(h);
+      if (slots.size() > cfg_.max_locks_per_page) {
+        // Bound the growth a long-lived scanner over a hot insert range
+        // would otherwise suffer — every insert into its gap copies its
+        // coverage onto a new granule. Escalate to one page lock exactly
+        // as AcquireTuple does; the page partition is T (already held).
+        // Page->relation escalation is NOT chained here: it would need a
+        // third partition lock while two are held, and the per-relation
+        // growth is already bounded by pages * max_locks_per_page.
+        (void)PromoteTuplesToPageLocked(T, rel, to_page, h);
+      }
     }
   }
 }
@@ -425,24 +526,42 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
 // ---------------------------------------------------------------------------
 // Conflict graph + dangerous structures (Sections 3.1-3.3, 4)
 //
-// All graph state stays under the single serializable_xact_mu_: edges
-// form once per conflict and the dangerous-structure tests run once per
-// edge or commit — orders of magnitude rarer than SIREAD traffic, which
-// never touches this lock.
+// Edges form once per conflict and the dangerous-structure tests run
+// once per edge or commit — orders of magnitude rarer than SIREAD
+// traffic, which never touches these locks. Under fine-grained locking
+// the path still scales with CONFLICT rate: an edge only locks its <=2
+// parties (ascending xid) plus the registry SHARED, so edges on
+// disjoint xact pairs proceed in parallel and only teardown serializes.
+//
+// Pointer-liveness argument (fine mode): while a thread holds x's edge
+// lock, every neighbour reachable through x's edge lists stays
+// allocated — freeing a neighbour n requires dissolving the (n, x) edge
+// first, and that dissolve takes x's edge lock. Neighbour lifecycle
+// fields read during the dangerous-structure tests (committed,
+// commit_seq, read_only, snapshot_seq) are atomics or immutable, so
+// neighbours' edge locks are never needed.
 // ---------------------------------------------------------------------------
 
+void SireadLockManager::Doom(SerializableXact* x) {
+  if (!x->doomed.exchange(true, std::memory_order_acq_rel)) {
+    ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool SireadLockManager::HasIn(const SerializableXact* x) const {
+  AssertEdgeHeld(x);
   return x->sticky_in || !x->in_edges.empty();
 }
 
 bool SireadLockManager::HasOutAny(const SerializableXact* x) const {
+  AssertEdgeHeld(x);
   return x->sticky_out || !x->out_edges.empty();
 }
 
 bool SireadLockManager::HasOutCommittedBefore(const SerializableXact* x,
                                               uint64_t seq) const {
-  if (x->sticky_out_commit_seq != 0 && x->sticky_out_commit_seq < seq)
-    return true;
+  AssertEdgeHeld(x);
+  if (x->sticky_out_commit_seq < seq) return true;  // kNoStickySeq: never
   for (const SerializableXact* o : x->out_edges) {
     if (o->committed.load(std::memory_order_relaxed) &&
         o->commit_seq.load(std::memory_order_relaxed) < seq) {
@@ -454,29 +573,44 @@ bool SireadLockManager::HasOutCommittedBefore(const SerializableXact* x,
 
 void SireadLockManager::FlagRwConflict(SerializableXact* reader,
                                        SerializableXact* writer) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  if (reader == nullptr || writer == nullptr || reader == writer) return;
+  RegistryReadLock l(this);
+  EdgePairLock el(this, reader, writer);
   FlagRwConflictLocked(reader, writer);
 }
 
 void SireadLockManager::FlagRwConflictWithWriter(SerializableXact* reader,
                                                  XactId writer_xid) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  if (reader == nullptr) return;
+  // The shared registry lock is held across the whole flagging: it both
+  // resolves the xid and pins the resolved xact against teardown (which
+  // needs the registry exclusive).
+  RegistryReadLock l(this);
   auto it = xacts_.find(writer_xid);
   if (it == xacts_.end()) return;  // non-serializable or already cleaned
-  FlagRwConflictLocked(reader, it->second.get());
+  SerializableXact* writer = it->second.get();
+  if (writer == reader) return;
+  EdgePairLock el(this, reader, writer);
+  FlagRwConflictLocked(reader, writer);
 }
 
 void SireadLockManager::FlagRwConflictWithReader(XactId reader_xid,
                                                  SerializableXact* writer) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  if (writer == nullptr) return;
+  RegistryReadLock l(this);
   auto it = xacts_.find(reader_xid);
   if (it == xacts_.end()) return;
-  FlagRwConflictLocked(it->second.get(), writer);
+  SerializableXact* reader = it->second.get();
+  if (reader == writer) return;
+  EdgePairLock el(this, reader, writer);
+  FlagRwConflictLocked(reader, writer);
 }
 
 void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
                                              SerializableXact* writer) {
   if (reader == nullptr || writer == nullptr || reader == writer) return;
+  AssertEdgeHeld(reader);
+  AssertEdgeHeld(writer);
   if (reader->aborted.load(std::memory_order_relaxed) ||
       writer->aborted.load(std::memory_order_relaxed)) {
     return;
@@ -499,12 +633,9 @@ void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
       bound = wseq;  // T3 must also precede the pivot
     }
     if (!HasOutCommittedBefore(writer, bound)) return;
-    if (!reader->doomed.load(std::memory_order_relaxed)) {
-      // The committed pivot's structure is already dangerous for this
-      // reader; the reader is the only abortable party left.
-      reader->doomed.store(true, std::memory_order_release);
-      ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
-    }
+    // The committed pivot's structure is already dangerous for this
+    // reader; the reader is the only abortable party left.
+    Doom(reader);
     return;
   }
 
@@ -515,6 +646,7 @@ void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
 
 bool SireadLockManager::DangerousPivot(const SerializableXact* x,
                                        uint64_t pivot_bound) const {
+  AssertEdgeHeld(x);
   // x is a dangerous pivot if some in-neighbour R and some committed
   // out-neighbour exist with the out-commit preceding `pivot_bound`
   // (commit-ordering opt) — and, for a declared read-only R under the
@@ -541,41 +673,47 @@ void SireadLockManager::MaybeDoomOnEdge(SerializableXact* reader,
   uint64_t writer_bound = writer_committed && writer_seq != 0 ? writer_seq : kInf;
   if (DangerousPivot(writer, writer_bound)) {
     if (!writer_committed) {
-      if (!writer->doomed.load(std::memory_order_relaxed)) {
-        writer->doomed.store(true, std::memory_order_release);
-        ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
-      }
-    } else if (!reader->committed.load(std::memory_order_relaxed) &&
-               !reader->doomed.load(std::memory_order_relaxed)) {
+      Doom(writer);
+    } else if (!reader->committed.load(std::memory_order_relaxed)) {
       // The pivot already committed; the only transaction still abortable
       // is the incoming reader.
-      reader->doomed.store(true, std::memory_order_release);
-      ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
+      Doom(reader);
     }
     return;
   }
   if (!cfg_.enable_commit_ordering_opt &&
       reader->committed.load(std::memory_order_relaxed) && HasIn(reader) &&
-      !writer->doomed.load(std::memory_order_relaxed) && !writer_committed) {
+      !writer_committed) {
     // Without the commit-ordering refinement, a committed pivot dooms the
     // overwriting transaction regardless of commit order.
-    writer->doomed.store(true, std::memory_order_release);
-    ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
+    Doom(writer);
     return;
   }
-  if (!cfg_.enable_safe_retry && !writer_committed &&
-      !writer->doomed.load(std::memory_order_relaxed) && HasIn(writer) &&
+  if (!cfg_.enable_safe_retry && !writer_committed && HasIn(writer) &&
       HasOutAny(writer)) {
     // Eager victim policy: abort the pivot as soon as the structure forms,
     // even though its partners are still in flight and a retry may hit the
     // same conflict again (Section 5.4 discusses why this is wasteful).
-    writer->doomed.store(true, std::memory_order_release);
-    ssi_aborts_.fetch_add(1, std::memory_order_relaxed);
+    Doom(writer);
   }
 }
 
 Status SireadLockManager::PreCommit(SerializableXact* x) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  if (!fine_locking_) {
+    std::unique_lock<std::shared_mutex> l(registry_mu_);
+    return PreCommitLocked(x);
+  }
+  // Fine mode: only x's own edge lock. The dangerous-structure test
+  // reads x's edge lists (guarded by edge_mu) plus neighbour lifecycle
+  // atomics, and neighbours cannot be freed from under us (see the
+  // liveness argument at the top of this section). No registry lock:
+  // x is the caller's own transaction, so it cannot be torn down here.
+  std::lock_guard<CheckedMutex> el(x->edge_mu);
+  return PreCommitLocked(x);
+}
+
+Status SireadLockManager::PreCommitLocked(SerializableXact* x) {
+  AssertEdgeHeld(x);
   if (x->doomed.load(std::memory_order_relaxed)) {
     return Status::SerializationFailure(
         "canceled due to rw-antidependency conflict (doomed)");
@@ -597,37 +735,60 @@ Status SireadLockManager::PreCommit(SerializableXact* x) {
   // inspection — and both sides of the dangerous structure would commit.
   // Marking it committed makes any such concurrent edge doom the other
   // party instead (this transaction is certain to commit first).
+  //
+  // Re-proof under per-xact edge locks: every edge formation involving x
+  // — as reader or writer — locks x's edge_mu (EdgePairLock covers both
+  // parties), and this check-then-mark runs entirely under that same
+  // lock. So any concurrent edge either completed before the lock was
+  // taken (the test above sees it) or starts after the store below (its
+  // MaybeDoomOnEdge observes committed==true and dooms the other party).
+  // The window the old global mutex closed stays closed.
   x->committed.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 void SireadLockManager::MarkCommitted(SerializableXact* x,
                                       uint64_t commit_seq) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  // The shared registry lock (exclusive in global mode) is what makes
+  // the min ratchet below safe against Cleanup's exact recompute: the
+  // recompute runs under the exclusive registry lock, so it cannot scan
+  // this xact while still commit-pending and then clobber the ratchet —
+  // either it sees the seq stored here, or this whole block runs after.
+  RegistryReadLock l(this);
   x->committed.store(true, std::memory_order_relaxed);
   x->commit_seq.store(commit_seq, std::memory_order_release);
-  if (commit_seq < min_committed_seq_.load(std::memory_order_relaxed)) {
-    min_committed_seq_.store(commit_seq, std::memory_order_release);
+  uint64_t cur = min_committed_seq_.load(std::memory_order_relaxed);
+  while (commit_seq < cur &&
+         !min_committed_seq_.compare_exchange_weak(
+             cur, commit_seq, std::memory_order_acq_rel)) {
   }
 }
 
 void SireadLockManager::DissolveEdgesLocked(SerializableXact* x,
                                             bool make_sticky) {
+  // The exclusive registry lock freezes x's edge lists (edges are only
+  // added under the shared registry lock, dissolves are serialized), so
+  // iterating them unlocked is safe; each PARTNER's lists and sticky
+  // flags are mutated under the pair's edge locks because the partner's
+  // own PreCommit / dangerous-structure test reads them under only its
+  // edge lock.
   const bool x_committed = x->committed.load(std::memory_order_relaxed);
   const uint64_t x_seq = x->commit_seq.load(std::memory_order_relaxed);
   for (SerializableXact* o : x->out_edges) {
+    EdgePairLock el(this, x, o);
     o->in_edges.erase(x);
     if (make_sticky && x_committed) o->sticky_in = true;
   }
   for (SerializableXact* i : x->in_edges) {
+    EdgePairLock el(this, x, i);
     i->out_edges.erase(x);
     if (make_sticky && x_committed) {
+      PGSSI_DCHECK(x_seq != 0);  // only Cleanup makes sticky: seq assigned
       i->sticky_out = true;
-      if (i->sticky_out_commit_seq == 0 || x_seq < i->sticky_out_commit_seq) {
-        i->sticky_out_commit_seq = x_seq;
-      }
+      i->sticky_out_commit_seq = std::min(i->sticky_out_commit_seq, x_seq);
     }
   }
+  EdgeLock el(this, x);
   x->out_edges.clear();
   x->in_edges.clear();
 }
@@ -673,7 +834,7 @@ void SireadLockManager::Abort(SerializableXact* x) {
   ReleaseAllLocks(x);
   std::unique_ptr<SerializableXact> owned;
   {
-    std::lock_guard<std::mutex> l(serializable_xact_mu_);
+    std::unique_lock<std::shared_mutex> l(registry_mu_);
     DissolveEdgesLocked(x, /*make_sticky=*/false);
     auto it = xacts_.find(x->xid);
     if (it != xacts_.end() && it->second.get() == x) {
@@ -694,7 +855,7 @@ void SireadLockManager::Cleanup(uint64_t oldest_active_snapshot_seq) {
   }
   std::vector<std::unique_ptr<SerializableXact>> dead;
   {
-    std::lock_guard<std::mutex> l(serializable_xact_mu_);
+    std::unique_lock<std::shared_mutex> l(registry_mu_);
     for (auto it = xacts_.begin(); it != xacts_.end();) {
       SerializableXact* x = it->second.get();
       const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
@@ -708,6 +869,10 @@ void SireadLockManager::Cleanup(uint64_t oldest_active_snapshot_seq) {
         ++it;
       }
     }
+    // Exact recompute over the survivors: without this the hint would
+    // stay at the retired floor forever and the early-out above would
+    // never fire again. Safe against concurrent MarkCommitted ratchets
+    // because those hold the registry lock shared.
     uint64_t min_seq = kInf;
     for (const auto& [xid, x] : xacts_) {
       const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
@@ -725,12 +890,13 @@ void SireadLockManager::Cleanup(uint64_t oldest_active_snapshot_seq) {
 
 bool SireadLockManager::CommittedWithDangerousOut(XactId xid,
                                                   uint64_t snapshot_seq) {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  RegistryReadLock l(this);
   auto it = xacts_.find(xid);
   if (it == xacts_.end()) return false;  // cleaned up => no longer relevant
   SerializableXact* x = it->second.get();
-  return x->committed.load(std::memory_order_relaxed) &&
-         HasOutCommittedBefore(x, snapshot_seq + 1);
+  if (!x->committed.load(std::memory_order_relaxed)) return false;
+  EdgeLock el(this, x);
+  return HasOutCommittedBefore(x, snapshot_seq + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -766,7 +932,7 @@ bool SireadLockManager::HoldsRelationLock(const SerializableXact* x,
 }
 
 size_t SireadLockManager::RegisteredCount() const {
-  std::lock_guard<std::mutex> l(serializable_xact_mu_);
+  RegistryReadLock l(this);
   return xacts_.size();
 }
 
@@ -808,7 +974,7 @@ size_t SireadLockManager::TotalLockCount() const {
 }
 
 bool SireadLockManager::CheckConsistency() const {
-  std::lock_guard<std::mutex> xl(serializable_xact_mu_);
+  std::unique_lock<std::shared_mutex> xl(registry_mu_);
   std::vector<std::unique_lock<CheckedMutex>> locks;
   locks.reserve(partition_count_);
   for (size_t i = 0; i < partition_count_; i++) {
@@ -878,6 +1044,24 @@ bool SireadLockManager::CheckConsistency() const {
       auto it = p.rel_locks.find(rel);
       if (it == p.rel_locks.end() || !it->second.count(x.get())) ok = false;
     }
+  }
+  // Conflict-graph invariants (the registry lock excludes every edge
+  // mutation, so the lists can be read without the per-xact edge locks):
+  // each edge is mirrored by its partner, partners of live edges are
+  // themselves registered, and the sticky commit-seq is either the
+  // sentinel or a real (nonzero) sequence number.
+  std::unordered_set<const SerializableXact*> registered;
+  registered.reserve(xacts_.size());
+  for (const auto& [xid, x] : xacts_) registered.insert(x.get());
+  for (const auto& [xid, x] : xacts_) {
+    for (SerializableXact* o : x->out_edges) {
+      if (!registered.count(o) || !o->in_edges.count(x.get())) ok = false;
+    }
+    for (SerializableXact* i : x->in_edges) {
+      if (!registered.count(i) || !i->out_edges.count(x.get())) ok = false;
+    }
+    if (x->sticky_out_commit_seq == 0) ok = false;
+    if (x->sticky_out_commit_seq != kNoStickySeq && !x->sticky_out) ok = false;
   }
   return ok;
 }

@@ -26,23 +26,39 @@
 //    anywhere (rel_lock_count_ == 0).
 //  - Each SerializableXact's held-lock bookkeeping is guarded by its own
 //    spinlock (held_mu), always acquired AFTER the owning partition lock.
-//  - The conflict graph, xact registry, commit-seq ordering, and the
-//    dangerous-structure tests stay under one global serializable_xact_mu_
-//    — these run once per conflict or per commit, not once per read.
+//  - The conflict graph scales with conflict rate, not read rate
+//    (EngineConfig::conflict_lock_mode, default fine-grained): each
+//    SerializableXact's edge lists and sticky flags are guarded by its
+//    own edge_mu (the analogue of PostgreSQL's per-SERIALIZABLEXACT
+//    LWLock). Flagging an edge locks the two parties in ascending-xid
+//    order under a SHARED registry lock; PreCommit's dangerous-structure
+//    test needs only the committing xact's edge lock (neighbour
+//    lifecycle fields are atomics, and a neighbour cannot be freed while
+//    its edge to the pivot exists — dissolution requires the pivot's
+//    edge lock). The registry lock (xacts_ map membership) is taken
+//    EXCLUSIVE only for registration, teardown sweeps, and consistency
+//    checks — pure list maintenance. conflict_lock_mode=0 maps every
+//    conflict-path acquisition back onto the exclusive registry lock
+//    (the old single-global-mutex design) for A/B benching.
 //  - Lifecycle flags (committed/aborted/doomed/...) are atomics so the
 //    hot path (Doomed(), probe holder filtering) reads them lock-free.
 //
-// Lock ordering (outermost first): serializable_xact_mu_ > partition
-// mutex > per-xact held_mu. Two partition locks are only ever held
-// together in canonical (index) order — OnPageSplit moving locks between
-// leaves, never on the acquire/probe fast path.
+// Lock ordering (outermost first): registry_mu_ > per-xact edge_mu >
+// ... > partition mutex > per-xact held_mu (conflict-graph locks and
+// SIREAD-table locks are never actually nested; the order is total for
+// safety). Two partition locks are only ever held together in canonical
+// (index) order — OnPageSplit / gap transfers moving locks between
+// leaves, never on the acquire/probe fast path. Two edge locks are only
+// ever held together in ascending-xid order.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -55,6 +71,12 @@
 
 namespace pgssi::ssi {
 
+/// "No sticky out-partner" sentinel for sticky_out_commit_seq. Must be
+/// the max value, not 0: commit sequence numbers are compared with `<`
+/// against snapshot bounds, and a 0 sentinel would make a partner that
+/// committed at seq 0 indistinguishable from no partner at all.
+inline constexpr uint64_t kNoStickySeq = std::numeric_limits<uint64_t>::max();
+
 struct SerializableXact {
   XactId xid = 0;
   uint64_t snapshot_seq = 0;
@@ -63,8 +85,9 @@ struct SerializableXact {
   // thread at Begin, read by writers flagging conflicts: atomic.
   std::atomic<bool> safe_snapshot{false};
 
-  // Lifecycle. Written under serializable_xact_mu_ (or by the releasing
-  // thread for `defunct`), read lock-free on the hot path.
+  // Lifecycle. Written under the owner's edge lock / the registry lock
+  // (or by the releasing thread for `defunct`), read lock-free on the
+  // hot path.
   std::atomic<uint64_t> commit_seq{0};  // 0 while in flight
   std::atomic<bool> committed{false};
   std::atomic<bool> aborted{false};
@@ -79,13 +102,18 @@ struct SerializableXact {
 
   // Conflict graph. `in_edges` holds T1 for each T1 -rw-> this edge
   // (T1 read a version this transaction overwrote); `out_edges` holds T3
-  // for each this -rw-> T3 edge. Guarded by serializable_xact_mu_.
+  // for each this -rw-> T3 edge. Guarded by edge_mu under fine-grained
+  // conflict locking (EngineConfig::conflict_lock_mode != 0; two edge
+  // locks always nest in ascending-xid order), or by the manager's
+  // exclusive registry lock in global-mutex mode.
+  mutable CheckedMutex edge_mu;
   std::unordered_set<SerializableXact*> in_edges;
   std::unordered_set<SerializableXact*> out_edges;
   // Summary flags left behind when a committed partner is cleaned up.
   bool sticky_in = false;
   bool sticky_out = false;
-  uint64_t sticky_out_commit_seq = 0;  // min commit seq of cleaned out-partners
+  // Min commit seq of cleaned-up out-partners; kNoStickySeq when none.
+  uint64_t sticky_out_commit_seq = kNoStickySeq;
 
   // SIREAD lock bookkeeping (which granules this xact holds), so release
   // and promotion are O(held locks). Guarded by held_mu, which is always
@@ -204,6 +232,12 @@ class SireadLockManager {
   /// at quiescent points; takes every lock in the manager.
   bool CheckConsistency() const;
   size_t partition_count() const { return partition_count_; }
+  /// Cleanup's early-out threshold (smallest commit seq among live
+  /// committed xacts, kNoStickySeq when none). Introspection only: the
+  /// regression tests assert it advances when the floor xact retires.
+  uint64_t min_committed_seq_hint() const {
+    return min_committed_seq_.load(std::memory_order_acquire);
+  }
   uint64_t page_promotions() const {
     return page_promotions_.load(std::memory_order_relaxed);
   }
@@ -248,6 +282,13 @@ class SireadLockManager {
     return partitions_[PartitionIndexForRelation(rel)];
   }
 
+  /// Replaces x's tuple locks on (rel, page) with one page lock; the
+  /// owning partition lock and x's held_mu must be held. Returns true
+  /// when x's page count in `rel` now exceeds the relation-promotion
+  /// threshold (the caller decides whether escalation can be chained).
+  bool PromoteTuplesToPageLocked(Partition& p, RelationId rel, PageId page,
+                                 SerializableXact* x);
+
   // Map-entry erase helpers; the owning partition lock must be held.
   void EraseTupleHolder(Partition& p, RelationId rel, PageId page,
                         uint32_t slot, SerializableXact* x);
@@ -273,16 +314,41 @@ class SireadLockManager {
   /// through the lock tables.
   void ReleaseAllLocks(SerializableXact* x);
 
-  // Dangerous-structure predicate helpers (serializable_xact_mu_ held).
+  // Conflict-graph locking guards (see the file comment). In
+  // global-mutex mode RegistryReadLock is exclusive and the edge guards
+  // are no-ops; in fine mode RegistryReadLock is shared and the edge
+  // guards lock edge_mu (pairs in ascending-xid order).
+  class RegistryReadLock;
+  class EdgeLock;
+  class EdgePairLock;
+  /// DCHECK that the lock protecting x's edge lists is held by this
+  /// thread (x's edge_mu in fine mode; vacuous under the global mutex,
+  /// whose std::shared_mutex cannot assert ownership).
+  void AssertEdgeHeld(const SerializableXact* x) const {
+    if (fine_locking_) x->edge_mu.AssertHeld();
+  }
+  /// Idempotent doom + stats bump (the edge lock of x must be held, so
+  /// two racing doomers cannot double-count).
+  void Doom(SerializableXact* x);
+
+  // Dangerous-structure predicate helpers; the caller must hold the
+  // edge lock of the xact whose lists are read (asserted inside).
   bool HasIn(const SerializableXact* x) const;
   bool HasOutAny(const SerializableXact* x) const;
   bool HasOutCommittedBefore(const SerializableXact* x, uint64_t seq) const;
   bool DangerousPivot(const SerializableXact* x, uint64_t pivot_bound) const;
   void FlagRwConflictLocked(SerializableXact* reader, SerializableXact* writer);
   void MaybeDoomOnEdge(SerializableXact* reader, SerializableXact* writer);
+  Status PreCommitLocked(SerializableXact* x);
+  /// Caller holds the registry lock EXCLUSIVE (so no edge can form or
+  /// another dissolve run concurrently); partner back-edges and sticky
+  /// flags are still updated under the pair's edge locks because a
+  /// partner's PreCommit reads its lists under only its own edge lock.
   void DissolveEdgesLocked(SerializableXact* x, bool make_sticky);
 
   EngineConfig cfg_;
+  // Fine-grained conflict locking (cfg_.conflict_lock_mode != 0).
+  bool fine_locking_;
   size_t partition_count_;  // power of two
   size_t partition_mask_;
   std::unique_ptr<Partition[]> partitions_;
@@ -292,14 +358,22 @@ class SireadLockManager {
   // under default promotion thresholds).
   std::atomic<int64_t> rel_lock_count_{0};
 
-  // Registry + conflict graph + commit ordering. Held only for
-  // registration, edge flagging, the dangerous-structure tests, commit
-  // sequencing, and cleanup — never on the per-read SIREAD path.
-  mutable std::mutex serializable_xact_mu_;
+  // Xact registry. Exclusive for membership changes (Register, Abort,
+  // Cleanup's teardown sweep, CheckConsistency); shared on the conflict
+  // path (xid resolution + pinning the parties of an edge against
+  // teardown, and MarkCommitted's min ratchet, which must not interleave
+  // with Cleanup's exclusive recompute). Never taken on the per-read
+  // SIREAD path. In global-mutex mode every conflict-path acquisition is
+  // exclusive, reproducing the old serializable_xact_mu_ behaviour.
+  mutable std::shared_mutex registry_mu_;
   std::unordered_map<XactId, std::unique_ptr<SerializableXact>> xacts_;
 
   // Smallest commit_seq among registered committed xacts; lets Cleanup
-  // bail with one atomic load when nothing can be freed yet.
+  // bail with one atomic load when nothing can be freed yet. Ratcheted
+  // down by MarkCommitted (CAS, under the shared registry lock),
+  // recomputed exactly by Cleanup whenever xacts are freed — without the
+  // recompute the hint would stay at the all-time floor forever and the
+  // early-out would never fire again.
   std::atomic<uint64_t> min_committed_seq_;
 
   // Stats: relaxed atomics, incremented from whichever lock context the

@@ -172,6 +172,51 @@ TEST(PredicateCoverageTest, GapSplittingInsertKeepsScannerCoverage) {
   ASSERT_TRUE(r->Commit().ok());
 }
 
+// ROADMAP PR 3 item: every gap-splitting insert copies the old next-key
+// granule's holders onto the new entry, so a long-lived scanner over a
+// hot insert range would otherwise accumulate one tuple lock per insert
+// without bound. The transfer path must escalate to a page lock at the
+// usual per-page threshold; this asserts the bound after an insert-heavy
+// run against a live scanner (fails with the escalation removed: the
+// tuple-lock count tracks the insert count).
+TEST(PredicateCoverageTest, GapTransferGrowthBoundedUnderInsertStorm) {
+  DatabaseOptions opts;
+  opts.engine.index_gap_locking = IndexGapLocking::kNextKey;
+  opts.engine.max_locks_per_page = 4;
+  auto db = Database::Open(opts);
+  TableId t;
+  ASSERT_TRUE(db->CreateTable("gb", &t).ok());
+  {
+    auto w = db->Begin();
+    ASSERT_TRUE(w->Put(t, "a", "v").ok());
+    ASSERT_TRUE(w->Put(t, "z", "v").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  auto scanner = BeginSer(db.get());
+  uint64_t n = 0;
+  // Scan [a, y]: the right boundary's gap lock is a next-key TUPLE lock
+  // on "z" (not a page lock, which would already cover the landing pages
+  // and suppress the copies this regression is about). Every insert
+  // below probes "z" as its successor and transfers that granule.
+  ASSERT_TRUE(scanner->Count(t, "a", "y", &n).ok());
+
+  constexpr int kInserts = 200;
+  for (int i = 0; i < kInserts; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "m%06d", i);
+    auto w = BeginSer(db.get());
+    Status st = w->Insert(t, key, "v");
+    if (st.ok()) st = w->Commit();  // serialization failures are fine
+  }
+  // The scanner is still live, so every insert transferred coverage to
+  // its new granule — but escalation caps the copies at
+  // max_locks_per_page tuple locks per leaf plus one page lock per leaf,
+  // far below one lock per insert.
+  EXPECT_LT(db->SireadTupleLockCount(), kInserts / 2);
+  EXPECT_TRUE(db->CheckSsiLockConsistency());
+  ASSERT_TRUE(scanner->Abort().ok());
+}
+
 // ---------------------------------------------------------------------------
 // Satellite 3: aborted new-key inserts must not leak chains or entries.
 // ---------------------------------------------------------------------------

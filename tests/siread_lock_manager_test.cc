@@ -154,6 +154,85 @@ TEST(SireadLockManagerTest, SireadLocksSurviveCommitUntilCleanup) {
   EXPECT_TRUE(mgr.ProbeHeapWrite(1, 7, 0).holder_xids.empty());
 }
 
+// Regression: the Cleanup early-out hint must advance once the xact
+// holding the floor commit seq retires, or it stays at the all-time low
+// forever and the early-out never fires again (and, inverted, a hint
+// that failed to track survivors could wrongly skip reclaiming them).
+// Fails if Cleanup's exact recompute over survivors is removed.
+TEST(SireadLockManagerTest, CleanupAdvancesMinCommittedFloorWhenFloorRetires) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact* floor_xact = mgr.Register(1, 0, false);
+  SerializableXact* survivor = mgr.Register(2, 0, false);
+  mgr.AcquireTuple(survivor, 1, 1, 1);
+  mgr.MarkCommitted(floor_xact, 1);
+  mgr.MarkCommitted(survivor, 5);
+  EXPECT_EQ(mgr.min_committed_seq_hint(), 1u);
+
+  mgr.Cleanup(/*oldest_active_snapshot_seq=*/1);  // frees only the floor
+  EXPECT_EQ(mgr.RegisteredCount(), 1u);
+  EXPECT_EQ(mgr.min_committed_seq_hint(), 5u);
+
+  // ... so a later cleanup past the survivor's seq actually reclaims it.
+  mgr.Cleanup(/*oldest_active_snapshot_seq=*/5);
+  EXPECT_EQ(mgr.RegisteredCount(), 0u);
+  EXPECT_EQ(mgr.TupleLockCount(), 0u);
+  EXPECT_EQ(mgr.min_committed_seq_hint(), kNoStickySeq);  // nothing live
+}
+
+// Regression: "no sticky out-partner" must not be encoded as commit seq
+// 0 — that conflates the empty state with a partner that committed at
+// sequence number 0, silently passing a dangerous pivot. White-box: the
+// xact carries the summary state Cleanup leaves behind after freeing
+// both partners of a pivot.
+TEST(SireadLockManagerTest, StickySeqZeroIsNotTheEmptySentinel) {
+  EngineConfig cfg;
+  SireadLockManager mgr(cfg);
+  SerializableXact pivot;
+  pivot.xid = 1;
+  pivot.sticky_in = true;             // cleaned-up in-partner
+  pivot.sticky_out = true;            // cleaned-up out-partner...
+  pivot.sticky_out_commit_seq = 0;    // ...that committed at seq 0
+  EXPECT_FALSE(mgr.PreCommit(&pivot).ok());  // dangerous structure
+
+  // The default (sentinel) state never manufactures danger.
+  SerializableXact clean;
+  clean.xid = 2;
+  clean.sticky_in = true;  // in-flag alone is not dangerous
+  EXPECT_EQ(clean.sticky_out_commit_seq, kNoStickySeq);
+  EXPECT_TRUE(mgr.PreCommit(&clean).ok());
+}
+
+// ROADMAP PR 3 item: gap transfers must not grow a long-lived scanner's
+// bookkeeping without bound. Repeated transfers onto one page escalate
+// to a single page lock at the same threshold AcquireTuple uses, and
+// doomed holders are not copied at all (they can never commit).
+TEST(SireadLockManagerTest, GapTransferEscalatesAndSkipsDoomed) {
+  EngineConfig cfg;
+  cfg.max_locks_per_page = 4;
+  SireadLockManager mgr(cfg);
+  SerializableXact scanner;
+  scanner.xid = 1;
+  mgr.AcquireTuple(&scanner, 1, /*page=*/1, /*slot=*/0);
+  // 20 gap-splitting inserts, each transferring the scanner's coverage
+  // from the previous next-key granule onto the new entry.
+  for (uint32_t s = 1; s <= 20; s++) {
+    mgr.OnGapTransfer(1, /*from_page=*/1, /*from_slot=*/s - 1,
+                      /*to_page=*/1, /*to_slot=*/s);
+  }
+  // Unbounded copying would leave ~21 tuple locks; the escalation caps
+  // the page's tuple locks at the threshold and installs one page lock.
+  EXPECT_TRUE(mgr.HoldsPageLock(&scanner, 1, 1));
+  EXPECT_LE(mgr.TupleLockCount(), 4u);
+
+  SerializableXact doomed_reader;
+  doomed_reader.xid = 2;
+  mgr.AcquireTuple(&doomed_reader, 1, /*page=*/7, /*slot=*/0);
+  doomed_reader.doomed.store(true);
+  mgr.OnGapTransfer(1, 7, 0, 7, 1);
+  EXPECT_FALSE(mgr.HoldsTupleLock(&doomed_reader, 1, 7, 1));
+}
+
 TEST(SireadLockManagerTest, WriteSupersedesSireadRelease) {
   EngineConfig cfg;
   SireadLockManager mgr(cfg);

@@ -10,6 +10,7 @@
 // Run under ThreadSanitizer in CI (cmake --preset tsan).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -111,6 +112,74 @@ TEST(SsiPartitionStressTest, ManagerChaosLeavesBookkeepingConsistent) {
   EXPECT_EQ(mgr.RegisteredCount(), 0u);
   EXPECT_EQ(mgr.TotalLockCount(), 0u);
   EXPECT_TRUE(mgr.CheckConsistency());
+}
+
+// Conflict storm: 8 threads hammer the CONFLICT path — FlagRwConflict*,
+// PreCommit, MarkCommitted, teardown, Cleanup sweeps — on overlapping
+// xact pairs (partners picked from a shared ring of recently registered
+// xids, resolved by xid because they may already be torn down). This is
+// the workload the per-xact edge locks must survive; run under both
+// settings of the conflict_lock_mode A/B knob, ending in a full
+// conflict-graph + lock-table consistency check.
+void RunConflictStorm(uint32_t conflict_lock_mode) {
+  EngineConfig cfg;
+  cfg.conflict_lock_mode = conflict_lock_mode;
+  ssi::SireadLockManager mgr(cfg);
+
+  constexpr int kThreads = 8;
+  constexpr int kXactsPerThread = 250 / PGSSI_STRESS_SCALE;
+  constexpr size_t kRecent = 64;
+  std::atomic<XactId> next_xid{1};
+  std::atomic<uint64_t> commit_seq{0};
+  std::array<std::atomic<XactId>, kRecent> recent{};
+
+  std::vector<std::thread> workers;
+  for (int ti = 0; ti < kThreads; ti++) {
+    workers.emplace_back([&, ti] {
+      Random rng(4321u + static_cast<uint64_t>(ti));
+      for (int it = 0; it < kXactsPerThread; it++) {
+        XactId xid = next_xid.fetch_add(1);
+        ssi::SerializableXact* x =
+            mgr.Register(xid, commit_seq.load(), /*read_only=*/false);
+        recent[static_cast<size_t>(xid) % kRecent].store(xid);
+        for (int op = 0; op < 12; op++) {
+          XactId partner =
+              recent[rng.Uniform(kRecent)].load(std::memory_order_relaxed);
+          if (partner == 0 || partner == xid) continue;
+          if (rng.Bernoulli(0.5)) {
+            mgr.FlagRwConflictWithWriter(x, partner);
+          } else {
+            mgr.FlagRwConflictWithReader(partner, x);
+          }
+        }
+        if (mgr.Doomed(x) || rng.Bernoulli(0.25)) {
+          mgr.Abort(x);
+        } else if (mgr.PreCommit(x).ok()) {
+          mgr.MarkCommitted(x, commit_seq.fetch_add(1) + 1);
+        } else {
+          mgr.Abort(x);
+        }
+        if (rng.Bernoulli(0.15)) {
+          // Lag the bound so live xacts keep their graph state pinned.
+          uint64_t seq = commit_seq.load();
+          mgr.Cleanup(seq > 16 ? seq - 16 : 0);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_TRUE(mgr.CheckConsistency());
+  mgr.Cleanup(commit_seq.load());
+  EXPECT_EQ(mgr.RegisteredCount(), 0u);
+  EXPECT_EQ(mgr.TotalLockCount(), 0u);
+  EXPECT_TRUE(mgr.CheckConsistency());
+}
+
+TEST(SsiPartitionStressTest, ConflictStormFineGrained) { RunConflictStorm(1); }
+
+TEST(SsiPartitionStressTest, ConflictStormGlobalMutexBaseline) {
+  RunConflictStorm(0);
 }
 
 int ReadInt(Transaction* txn, TableId t, const std::string& key, bool* ok) {

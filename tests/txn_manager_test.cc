@@ -1,0 +1,104 @@
+// TxnManager unit tests: atomic xid/commit-seq allocation, watermark
+// publication through the completion ring, and the invariant the
+// safe-snapshot / DEFERRABLE machinery relies on — a transaction absent
+// from the active registry is already published, i.e. Commit blocks
+// until its own seq is covered by the watermark.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "txn/txn_manager.h"
+
+namespace pgssi::txn {
+namespace {
+
+TEST(TxnManagerTest, BeginAssignsMonotonicXidsAndTracksRw) {
+  TxnManager m;
+  auto a = m.Begin(/*serializable_rw=*/false);
+  auto b = m.Begin(/*serializable_rw=*/true);
+  EXPECT_LT(a.xid, b.xid);
+  EXPECT_EQ(a.snapshot_seq, 0u);
+  EXPECT_TRUE(m.AnyActiveSerializableRW());
+  m.Abort(a.xid);
+  m.Abort(b.xid);
+  EXPECT_FALSE(m.AnyActiveSerializableRW());
+}
+
+TEST(TxnManagerTest, CommitPublishesBeforeReturning) {
+  TxnManager m;
+  auto a = m.Begin(true);
+  uint64_t stamped = 0;
+  uint64_t seq = m.Commit(a.xid, [&](uint64_t s) { stamped = s; });
+  EXPECT_EQ(stamped, seq);
+  EXPECT_EQ(m.LastCommittedSeq(), seq);
+  auto b = m.Begin(false);  // a later snapshot sees the published seq
+  EXPECT_EQ(b.snapshot_seq, seq);
+  m.Abort(b.xid);
+}
+
+// Regression (PR 4 review): a committer whose predecessor is still
+// stamping must NOT deregister and return before its own seq is
+// published. Otherwise a read-only SERIALIZABLE Begin could take an
+// older snapshot, observe no active read-write transaction, and wrongly
+// claim a safe snapshot while this committed-but-unpublished
+// transaction is concurrent with it.
+TEST(TxnManagerTest, CommitBlocksUntilOwnSeqIsPublished) {
+  TxnManager m;
+  auto p = m.Begin(/*serializable_rw=*/false);  // predecessor, stalls
+  auto w = m.Begin(/*serializable_rw=*/true);
+  std::atomic<bool> release{false};
+  std::atomic<bool> w_done{false};
+  std::atomic<bool> p_in_stamp{false};
+
+  std::thread pt([&] {
+    m.Commit(p.xid, [&](uint64_t) {
+      p_in_stamp.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!p_in_stamp.load()) std::this_thread::yield();
+
+  std::thread wt([&] {
+    m.Commit(w.xid, nullptr);  // seq follows p's unpublished one
+    w_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // w cannot have finished: its seq is after the gap p holds open. In
+  // particular it must still be counted as an active read-write txn.
+  EXPECT_FALSE(w_done.load());
+  EXPECT_TRUE(m.AnyActiveSerializableRW());
+
+  release.store(true);
+  pt.join();
+  wt.join();
+  EXPECT_TRUE(w_done.load());
+  EXPECT_EQ(m.LastCommittedSeq(), 2u);  // the gap-closer published both
+  EXPECT_FALSE(m.AnyActiveSerializableRW());
+}
+
+TEST(TxnManagerTest, OldestActiveSnapshotAndWaitForFinish) {
+  TxnManager m;
+  auto a = m.Begin(true);
+  m.Commit(a.xid, nullptr);  // seq 1
+  auto b = m.Begin(true);    // snapshot 1
+  auto c = m.Begin(false);
+  EXPECT_EQ(m.OldestActiveSnapshot(), 1u);
+  auto rw = m.ActiveSerializableRW();
+  ASSERT_EQ(rw.size(), 1u);
+  EXPECT_EQ(rw[0], b.xid);
+
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    m.Commit(b.xid, nullptr);
+  });
+  m.WaitForFinish({b.xid});  // returns only once b is gone
+  t.join();
+  m.Abort(c.xid);
+  EXPECT_EQ(m.OldestActiveSnapshot(), std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace pgssi::txn

@@ -2,85 +2,144 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
 
 namespace pgssi::txn {
 
 TxnManager::BeginResult TxnManager::Begin(bool serializable_rw) {
-  std::lock_guard<std::mutex> l(mu_);
-  XactId xid = next_xid_++;
-  uint64_t snap = last_committed_seq_.load(std::memory_order_relaxed);
-  active_[xid] = ActiveTxn{snap, serializable_rw};
+  const XactId xid = next_xid_.fetch_add(1, std::memory_order_relaxed);
+  // seq_cst counter bump BEFORE the snapshot loads: paired with the
+  // seq_cst load in AnyActiveSerializableRW (which runs AFTER the
+  // checking reader loaded its own snapshot), this guarantees that a
+  // read-write Begin the checker misses took its snapshot no earlier
+  // than the checker's — and a transaction beginning at-or-after a
+  // snapshot can never endanger it (its rw-out partners all commit
+  // after it began).
+  if (serializable_rw) active_serializable_rw_.fetch_add(1);
+
+  Shard& sh = ShardFor(xid);
+  // Provisional registration first, real snapshot second. A DEFERRABLE
+  // Begin scans the shards for concurrent read-write transactions; one
+  // it does NOT see must have registered after the scan visited this
+  // shard, so the reload below — ordered after that registration by the
+  // shard mutex — cannot observe a watermark older than the scanner's
+  // snapshot: the missed transaction is provably not concurrent with
+  // it. (The old single Begin mutex gave this ordering for free.) The
+  // provisional value is only ever too LOW, which merely makes
+  // OldestActiveSnapshot more conservative for the registration window.
+  const uint64_t provisional = last_committed_seq_.load();
+  {
+    std::lock_guard<std::mutex> l(sh.mu);
+    sh.active.emplace(xid, ActiveTxn{provisional, serializable_rw});
+  }
+  const uint64_t snap = last_committed_seq_.load();
+  if (snap != provisional) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    sh.active[xid].snapshot_seq = snap;
+  }
   return BeginResult{xid, snap};
 }
 
 uint64_t TxnManager::Commit(XactId xid,
                             const std::function<void(uint64_t)>& stamp) {
-  // The commit lock makes (stamp versions, publish seq) atomic with
-  // respect to snapshot acquisition: a reader that sees snapshot S is
-  // guaranteed every version with commit_seq <= S is already stamped.
-  std::lock_guard<std::mutex> cl(commit_mu_);
-  uint64_t seq;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    seq = ++next_commit_seq_;
-  }
+  const uint64_t seq =
+      next_commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Stamp first, publish second: a version carrying `seq` is invisible
+  // to every snapshot until the watermark reaches seq, and the watermark
+  // only advances over fully stamped sequences.
   if (stamp) stamp(seq);
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    last_committed_seq_.store(seq, std::memory_order_release);
-    active_.erase(xid);
+
+  // Ring-slot guard: the slot is shared with seq - kCommitRing, which
+  // must have been published (watermark passed it) before reuse. Only
+  // ever waits with kCommitRing commits in flight simultaneously.
+  while (last_committed_seq_.load(std::memory_order_acquire) + kCommitRing <
+         seq) {
+    std::this_thread::yield();
   }
-  finished_cv_.notify_all();
+  ring_[static_cast<size_t>(seq) & (kCommitRing - 1)].store(
+      seq, std::memory_order_release);
+
+  // Batched publication: advance the watermark across every contiguously
+  // completed seq. If our predecessor is still stamping we leave our seq
+  // for it to publish; whoever closes a gap publishes the whole batch.
+  // Each CAS is a release-RMW whose thread acquire-loaded the ring slots
+  // it publishes, so a reader acquiring the watermark sees every stamp
+  // at or below it.
+  uint64_t w = last_committed_seq_.load(std::memory_order_acquire);
+  for (;;) {
+    const uint64_t next = w + 1;
+    if (ring_[static_cast<size_t>(next) & (kCommitRing - 1)].load(
+            std::memory_order_acquire) != next) {
+      break;
+    }
+    if (last_committed_seq_.compare_exchange_weak(
+            w, next, std::memory_order_acq_rel, std::memory_order_acquire)) {
+      w = next;
+    }
+    // On CAS failure `w` reloaded: another publisher advanced; continue
+    // from wherever the watermark is now.
+  }
+
+  // Do not return (or deregister) until our own seq is published. The
+  // safe-snapshot and DEFERRABLE machinery relies on "absent from the
+  // active registry => visible to any later snapshot": deregistering
+  // with the seq unpublished would let a read-only Begin take a snapshot
+  // S < seq, see no active read-write transaction, and wrongly mark the
+  // snapshot safe while this (concurrent, committed) transaction may
+  // carry a dangerous out-edge. Only spins while a PREDECESSOR is still
+  // inside stamp(); the gap-closer publishes for the whole batch.
+  while (last_committed_seq_.load(std::memory_order_acquire) < seq) {
+    std::this_thread::yield();
+  }
+
+  Deregister(xid);
   return seq;
 }
 
-void TxnManager::Abort(XactId xid) {
+void TxnManager::Deregister(XactId xid) {
+  Shard& sh = ShardFor(xid);
+  bool was_rw = false;
   {
-    std::lock_guard<std::mutex> l(mu_);
-    active_.erase(xid);
+    std::lock_guard<std::mutex> l(sh.mu);
+    auto it = sh.active.find(xid);
+    if (it == sh.active.end()) return;
+    was_rw = it->second.serializable_rw;
+    sh.active.erase(it);
   }
-  finished_cv_.notify_all();
+  if (was_rw) active_serializable_rw_.fetch_sub(1);
+  sh.finished_cv.notify_all();
 }
 
+void TxnManager::Abort(XactId xid) { Deregister(xid); }
+
 uint64_t TxnManager::OldestActiveSnapshot() const {
-  std::lock_guard<std::mutex> l(mu_);
   uint64_t oldest = std::numeric_limits<uint64_t>::max();
-  for (const auto& [xid, t] : active_) {
-    oldest = std::min(oldest, t.snapshot_seq);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    for (const auto& [xid, t] : sh.active) {
+      oldest = std::min(oldest, t.snapshot_seq);
+    }
   }
   return oldest;
 }
 
 std::vector<XactId> TxnManager::ActiveSerializableRW() const {
-  std::lock_guard<std::mutex> l(mu_);
   std::vector<XactId> out;
-  for (const auto& [xid, t] : active_) {
-    if (t.serializable_rw) out.push_back(xid);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    for (const auto& [xid, t] : sh.active) {
+      if (t.serializable_rw) out.push_back(xid);
+    }
   }
   return out;
 }
 
-bool TxnManager::AnyActiveSerializableRW() const {
-  std::lock_guard<std::mutex> l(mu_);
-  for (const auto& [xid, t] : active_) {
-    if (t.serializable_rw) return true;
-  }
-  return false;
-}
-
 void TxnManager::WaitForFinish(const std::vector<XactId>& xids) {
-  std::unique_lock<std::mutex> l(mu_);
-  finished_cv_.wait(l, [&] {
-    for (XactId x : xids) {
-      if (active_.count(x)) return false;
-    }
-    return true;
-  });
-}
-
-uint64_t TxnManager::next_xid() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return next_xid_;
+  for (XactId x : xids) {
+    Shard& sh = ShardFor(x);
+    std::unique_lock<std::mutex> l(sh.mu);
+    sh.finished_cv.wait(l, [&] { return sh.active.count(x) == 0; });
+  }
 }
 
 }  // namespace pgssi::txn

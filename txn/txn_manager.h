@@ -4,10 +4,30 @@
 //
 // Snapshots are commit sequence numbers: a transaction beginning at
 // snapshot S sees exactly the versions stamped with commit_seq <= S.
-// Commit stamping and snapshot publication are serialized so a published
-// sequence number never precedes the visibility of its versions.
+//
+// Concurrency design (no global mutex anywhere on Begin/Commit):
+//  - xids and commit seqs come from atomic allocators;
+//  - the active-transaction registry is sharded by xid hash, so Begin /
+//    finish touch one shard mutex and only the registry scans
+//    (OldestActiveSnapshot, ActiveSerializableRW) visit all shards;
+//  - last_committed_seq_ is a published WATERMARK, advanced over
+//    contiguously completed commits via a completion ring (epoch-batched
+//    publication): each committer stamps its versions with its
+//    pre-allocated seq, marks its ring slot done, and whoever observes
+//    the contiguous prefix closed publishes for the whole batch with CAS
+//    steps. Snapshot acquisition is one atomic load — a reader that
+//    observes watermark S is guaranteed (by the release/acquire chain
+//    through the ring and the watermark CASes) that every version with
+//    commit_seq <= S is fully stamped.
+// A commit whose predecessor is still stamping leaves its seq for the
+// predecessor to publish (the gap-closer publishes the whole batch),
+// then WAITS until its own seq is covered by the watermark before
+// deregistering and returning. That wait preserves the invariant the
+// safe-snapshot / DEFERRABLE machinery depends on: a transaction absent
+// from the active registry is visible to every later snapshot.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -32,42 +52,67 @@ class TxnManager {
   /// read-only transaction must wait out).
   BeginResult Begin(bool serializable_rw);
 
-  /// Commits `xid`: assigns the next commit sequence number, runs `stamp`
-  /// (which writes commit_seq into the transaction's versions) while
-  /// holding the commit lock, then publishes the sequence and wakes
-  /// waiters. Returns the assigned sequence.
+  /// Commits `xid`: runs `stamp` with the pre-allocated next commit
+  /// sequence number (which writes commit_seq into the transaction's
+  /// versions), then publishes the sequence through the completion ring
+  /// and wakes waiters. Returns the assigned sequence.
   uint64_t Commit(XactId xid, const std::function<void(uint64_t)>& stamp);
 
   void Abort(XactId xid);
 
-  /// Lock-free (one atomic load): read on every SSI commit/cleanup and by
-  /// read-only commits, so it must not rejoin the registry mutex.
+  /// Lock-free (one atomic load): read on every snapshot acquisition,
+  /// SSI commit/cleanup, and read-only commit.
   uint64_t LastCommittedSeq() const {
     return last_committed_seq_.load(std::memory_order_acquire);
   }
   /// Smallest snapshot among active transactions; UINT64_MAX when none.
   uint64_t OldestActiveSnapshot() const;
   std::vector<XactId> ActiveSerializableRW() const;
-  bool AnyActiveSerializableRW() const;
+  /// Lock-free (one atomic counter read; seq_cst so it cannot reorder
+  /// with the snapshot load that precedes it in the safe-snapshot check).
+  bool AnyActiveSerializableRW() const {
+    return active_serializable_rw_.load() > 0;
+  }
   /// Blocks until none of `xids` is active.
   void WaitForFinish(const std::vector<XactId>& xids);
 
-  uint64_t next_xid() const;
+  uint64_t next_xid() const {
+    return next_xid_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ActiveTxn {
     uint64_t snapshot_seq;
     bool serializable_rw;
   };
+  // Power-of-two shard count: xids are dense, so low bits spread evenly.
+  static constexpr size_t kShards = 16;
+  // Completion-ring capacity: bounds the number of in-flight (allocated
+  // but unpublished) commit seqs. Far above any realistic thread count;
+  // a committer that laps the ring waits for the watermark to catch up.
+  static constexpr size_t kCommitRing = 4096;
 
-  mutable std::mutex mu_;
-  std::condition_variable finished_cv_;
-  std::mutex commit_mu_;  // serializes stamp + publish
-  XactId next_xid_ = 1;
-  // Written under mu_ (publication ordering), read lock-free.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable finished_cv;
+    std::unordered_map<XactId, ActiveTxn> active;
+  };
+  Shard& ShardFor(XactId xid) const {
+    return shards_[static_cast<size_t>(xid) & (kShards - 1)];
+  }
+  void Deregister(XactId xid);
+
+  std::atomic<XactId> next_xid_{1};
+  std::atomic<uint64_t> next_commit_seq_{0};
+  // Published watermark: every seq <= this is fully stamped.
   std::atomic<uint64_t> last_committed_seq_{0};
-  uint64_t next_commit_seq_ = 0;
-  std::unordered_map<XactId, ActiveTxn> active_;
+  // Active SSI read-write transactions (see AnyActiveSerializableRW).
+  std::atomic<int64_t> active_serializable_rw_{0};
+  // ring_[s & (kCommitRing-1)] == s  <=>  seq s has finished stamping
+  // and awaits (or has completed) publication. Slots are implicitly
+  // reclaimed when the watermark passes them.
+  std::array<std::atomic<uint64_t>, kCommitRing> ring_{};
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace pgssi::txn
