@@ -63,6 +63,7 @@ struct Config {
   uint32_t partitions = kLockPartitions;
   uint32_t heap_stripes = kHeapStripes;
   uint32_t conflict_lock_mode = 1;
+  uint32_t index_olc = 1;
   uint64_t skew_pairs = 16;
 };
 
@@ -146,6 +147,7 @@ void RunConflictSkewSeries(const Config& cfg, uint32_t mode, double secs,
     DatabaseOptions opts;
     opts.engine.heap_stripes = cfg.heap_stripes;
     opts.engine.conflict_lock_mode = mode;
+    opts.engine.index_olc = cfg.index_olc;
     auto db = Database::Open(opts);
     TableId t;
     if (!db->CreateTable("skew", &t).ok()) std::abort();
@@ -192,6 +194,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(a, "--conflict-lock-mode=", 21) == 0) {
       cfg.conflict_lock_mode =
           static_cast<uint32_t>(std::strtoul(a + 21, nullptr, 10));
+    } else if (std::strncmp(a, "--index-olc=", 12) == 0) {
+      cfg.index_olc = static_cast<uint32_t>(std::strtoul(a + 12, nullptr, 10));
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       cfg.threads.clear();
       for (const char* p = a + 10; *p;) {
@@ -203,7 +207,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--rows=N] [--write-frac=F] [--threads=a,b,...] "
                    "[--partitions=N] [--heap-stripes=N] "
-                   "[--conflict-lock-mode=N]\n",
+                   "[--conflict-lock-mode=N] [--index-olc=N]\n",
                    argv[0]);
       return 2;
     }
@@ -220,6 +224,7 @@ int main(int argc, char** argv) {
   for (DatabaseOptions* o : {&si_opts, &ssi_part, &ssi_global, &s2pl}) {
     o->engine.heap_stripes = cfg.heap_stripes;
     o->engine.conflict_lock_mode = cfg.conflict_lock_mode;
+    o->engine.index_olc = cfg.index_olc;
   }
 
   std::vector<Series> series = {
@@ -269,6 +274,7 @@ int main(int argc, char** argv) {
                    {"heap_stripes", static_cast<double>(cfg.heap_stripes)},
                    {"conflict_lock_mode",
                     static_cast<double>(cfg.conflict_lock_mode)},
+                   {"index_olc", static_cast<double>(cfg.index_olc)},
                    {"hardware_threads", static_cast<double>(hw)}};
       rows_out.push_back(row);
       std::printf("%-18s %8d %12.0f %9.2f%% %10.1f %10.1f\n", s.name, threads,

@@ -81,6 +81,17 @@ struct EngineConfig {
   // lock on that tuple (the write set is tracked anyway).
   bool enable_write_supersedes_siread = true;
 
+  // Optimistic lock coupling for index access. 1 (default) = latch-free
+  // B+-tree descent with version validation: readers and single-leaf
+  // inserts never touch the per-table index latch (index_mu); SIREAD
+  // acquisition follows the acquire-then-validate protocol (see
+  // index/btree.h) and aborted-insert index GC is deferred to
+  // RunSireadCleanup. 0 = the old regime: every index access wraps in
+  // index_mu (shared for reads/chain writes, exclusive for new-key
+  // insert and abort GC), kept as a same-binary A/B baseline
+  // (bench_sibench --index-olc=0).
+  uint32_t index_olc = 1;
+
   // Index-gap (phantom) lock granularity for scans.
   IndexGapLocking index_gap_locking = IndexGapLocking::kPage;
 

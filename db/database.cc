@@ -4,7 +4,6 @@
 #include <cassert>
 #include <functional>
 #include <limits>
-#include <set>
 
 #include "util/clock.h"
 
@@ -73,28 +72,104 @@ std::unique_ptr<Transaction> Database::Begin(const TxnOptions& opts) {
 }
 
 void Database::RunSireadCleanup() {
-  // Section 5.3 cleanup threshold. The bound must be computed carefully:
-  // read LastCommittedSeq FIRST, then OldestActiveSnapshot, and clamp the
-  // threshold to their minimum. A bare OldestActiveSnapshot is racy — a
-  // thread can compute it (say, infinity, with nothing active), stall,
-  // and apply it much later, freeing SIREAD state of transactions that
-  // committed in the meantime while a concurrent reader is live. Any
-  // transaction with commit_seq <= the pre-read bound was published
-  // before the bound was read; a transaction the registry scan then
-  // missed registered after the scan visited its shard, so its snapshot
-  // reload (ordered after registration by the shard mutex) observed a
-  // watermark >= the bound — it is not concurrent with anything freed.
-  uint64_t bound = txn_mgr_.LastCommittedSeq();
-  uint64_t oldest = txn_mgr_.OldestActiveSnapshot();
-  siread_.Cleanup(std::min(bound, oldest));
+  // Deferred aborted-insert GC rides along with Section 5.3 cleanup, so
+  // abort storms stop re-serializing inserts on the index latch.
+  if (opts_.engine.index_olc != 0) DrainIndexGc();
+  // Section 5.3 cleanup threshold; see TxnManager::CleanupBound for the
+  // ordering argument that makes this safe to apply late.
+  siread_.Cleanup(txn_mgr_.CleanupBound());
+}
+
+BTree::EraseHooks Database::MakeEraseHooks(Table* tbl) {
+  BTree::EraseHooks h;
+  const TableId table = tbl->id;
+  const bool next_key =
+      opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
+  h.transfer = [this, table, next_key](PageId erased_page, uint32_t erased_slot,
+                                       bool has_next, PageId next_page,
+                                       uint32_t next_slot) {
+    // Readers that tracked the erased granule (a Get miss, or coverage
+    // transferred onto it) keep their gap coverage: move it onto the
+    // key's successor entry, or onto the erased page's page granule —
+    // the erased key still routes to that leaf, so future inserts of it
+    // probe there. The rejoin mirror of the insert-time gap split.
+    if (next_key && has_next) {
+      siread_.OnGapTransfer(table, erased_page, erased_slot, next_page,
+                            next_slot);
+    } else {
+      siread_.OnGapTransferToPage(table, erased_page, erased_slot,
+                                  erased_page);
+    }
+  };
+  h.recycled = [this, table](PageId dead_page, PageId prev_page,
+                             PageId next_page) {
+    // The dead leaf vanishes from every future gap-probe span (its
+    // PageId is never reused): its page-granule holders must cover the
+    // neighbours the rejoined gap now spans instead.
+    siread_.OnGapTransferToPage(table, dead_page, kNoSlot, prev_page);
+    if (next_page != 0) {
+      siread_.OnGapTransferToPage(table, dead_page, kNoSlot, next_page);
+    }
+  };
+  return h;
+}
+
+void Database::EnqueueIndexGc(TableId table, TupleId tid) {
+  std::lock_guard<std::mutex> l(gc_mu_);
+  gc_queue_.push_back(IndexGcRec{table, tid});
+}
+
+void Database::DrainIndexGc() {
+  std::vector<IndexGcRec> q;
+  {
+    std::lock_guard<std::mutex> l(gc_mu_);
+    if (gc_queue_.empty()) return;
+    q.swap(gc_queue_);
+  }
+  std::vector<IndexGcRec> requeue;
+  for (const IndexGcRec& rec : q) {
+    Table* tbl = GetTable(rec.table);
+    if (!tbl) continue;
+    std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(rec.tid));
+    TupleChain& chain = tbl->tuples[rec.tid];
+    bool committed = false;
+    for (const Version& v : chain.versions) {
+      if (v.commit_seq != 0) {
+        committed = true;
+        break;
+      }
+    }
+    if (committed) continue;  // re-populated and committed: live again
+    if (!chain.versions.empty()) {
+      requeue.push_back(rec);  // an uncommitted writer owns it: retry later
+      continue;
+    }
+    // Empty: erase the index entry (if it still maps here) and recycle
+    // the chain. The stripe is held ACROSS the erase so a concurrent
+    // writer of this key — which resolves the entry, locks this stripe,
+    // then validates its index view — either blocks here until the
+    // erase's leaf-version bump lands (and restarts on validation) or
+    // appended its version first (and this record was re-enqueued).
+    if (!chain.key.empty()) {
+      tbl->index.Erase(chain.key, rec.tid, MakeEraseHooks(tbl));
+      chain.key.clear();
+    }
+    sl.unlock();
+    std::lock_guard<std::mutex> al(tbl->alloc_mu);
+    tbl->free_chains.push_back(rec.tid);
+  }
+  if (!requeue.empty()) {
+    std::lock_guard<std::mutex> l(gc_mu_);
+    gc_queue_.insert(gc_queue_.end(), requeue.begin(), requeue.end());
+  }
 }
 
 size_t Database::LiveTupleChainCount(TableId table) const {
   Table* tbl = GetTable(table);
   if (!tbl) return 0;
-  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
   size_t n = 0;
-  for (TupleId tid = 0; tid < tbl->tuples.size(); tid++) {
+  const size_t cnt = tbl->tuples.size();
+  for (TupleId tid = 0; tid < cnt; tid++) {
     std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
     if (!tbl->tuples[tid].versions.empty()) n++;
   }
@@ -104,8 +179,18 @@ size_t Database::LiveTupleChainCount(TableId table) const {
 size_t Database::IndexEntryCount(TableId table) const {
   Table* tbl = GetTable(table);
   if (!tbl) return 0;
-  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
   return tbl->index.size();
+}
+
+size_t Database::IndexLeafCount(TableId table) const {
+  Table* tbl = GetTable(table);
+  if (!tbl) return 0;
+  return tbl->index.LeafCount();
+}
+
+void Database::TestForceIndexInsertRestarts(TableId table, int n) {
+  Table* tbl = GetTable(table);
+  if (tbl) tbl->index.TestForceInsertRestarts(n);
 }
 
 SsiStats Database::GetSsiStats() const {
@@ -203,47 +288,41 @@ void Transaction::AbortInternal() {
                             }),
              vs.end());
   };
+  const bool olc = db_->opts_.engine.index_olc != 0;
   for (const WriteRec& w : writes_) {
     Database::Table* tbl = db_->GetTable(w.table);
     if (!tbl) continue;
     if (!w.created) {
-      std::shared_lock<std::shared_mutex> il(tbl->index_mu);
       std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
       erase_own(tbl->tuples[w.tid].versions);
       continue;
     }
-    // Structural: removing the index entry needs the index latch
-    // exclusively (which also excludes every chain reader/writer, so no
-    // stripe is needed). Only this transaction ever wrote the chain —
-    // the key's exclusive row lock is still held — so an empty chain
-    // after rollback means the entry can go.
+    if (olc) {
+      // Deferred GC: only empty the chain here; the index erase (with
+      // its coverage transfer and chain recycle) runs in DrainIndexGc,
+      // off every other transaction's insert path.
+      {
+        std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
+        erase_own(tbl->tuples[w.tid].versions);
+      }
+      db_->EnqueueIndexGc(w.table, w.tid);
+      continue;
+    }
+    // index_olc=0: inline GC under the exclusive index latch (which also
+    // excludes every chain reader/writer). Only this transaction ever
+    // wrote the chain — the key's exclusive row lock is still held — so
+    // an empty chain after rollback means the entry can go. Erase is
+    // tid-guarded and runs the coverage-transfer hooks itself.
     std::unique_lock<std::shared_mutex> il(tbl->index_mu);
     Database::TupleChain& chain = tbl->tuples[w.tid];
     erase_own(chain.versions);
     if (!chain.versions.empty()) continue;
-    TupleId itid;
-    PageId page;
-    uint32_t slot;
-    if (tbl->index.Lookup(chain.key, &itid, &page, &slot) && itid == w.tid) {
-      tbl->index.Erase(chain.key);
-      // Readers that looked this key up (and found nothing visible) hold
-      // SIREAD locks on the erased granule; future inserts of the key
-      // will probe the gap instead, so transfer the coverage there —
-      // the rejoin mirror of the insert-time gap split.
-      std::string nk;
-      TupleId ntid;
-      PageId npage;
-      uint32_t nslot;
-      if (db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey &&
-          tbl->index.NextKey(chain.key, &nk, &ntid, &npage, &nslot)) {
-        db_->siread_.OnGapTransfer(w.table, page, slot, npage, nslot);
-      } else {
-        db_->siread_.OnGapTransferToPage(w.table, page, slot,
-                                         tbl->index.PageFor(chain.key));
-      }
-    }
+    tbl->index.Erase(chain.key, w.tid, db_->MakeEraseHooks(tbl));
     chain.key.clear();
-    tbl->free_chains.push_back(w.tid);
+    {
+      std::lock_guard<std::mutex> al(tbl->alloc_mu);
+      tbl->free_chains.push_back(w.tid);
+    }
   }
   writes_.clear();
   if (sxact_) {
@@ -254,6 +333,8 @@ void Transaction::AbortInternal() {
   db_->txn_mgr_.Abort(xid_);
   if (use_ssi_) {
     db_->RunSireadCleanup();
+  } else if (olc) {
+    db_->DrainIndexGc();  // SI aborts must not strand their GC records
   }
   finished_ = true;
 }
@@ -295,7 +376,6 @@ Status Transaction::Commit() {
     uint64_t seq = db_->txn_mgr_.Commit(xid_, [this](uint64_t s) {
       for (const WriteRec& w : writes_) {
         Database::Table* tbl = db_->GetTable(w.table);
-        std::shared_lock<std::shared_mutex> il(tbl->index_mu);
         std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
         for (auto& v : tbl->tuples[w.tid].versions) {
           if (v.xid == xid_ && v.commit_seq == 0) v.commit_seq = s;
@@ -350,17 +430,41 @@ void Transaction::TrackRead(Database::Table* tbl,
 void Transaction::AcquireGapLock(Database::Table* tbl,
                                  const std::string& key) {
   if (!sxact_ || sxact_->safe_snapshot) return;
-  if (db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey) {
-    std::string nk;
-    TupleId ntid;
-    PageId npage;
-    uint32_t nslot;
-    if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot)) {
-      db_->siread_.AcquireTuple(sxact_, tbl->id, npage, nslot);
-      return;
+  // Acquire-then-validate: resolve the gap granule optimistically,
+  // acquire the SIREAD lock, then validate the index view and retry on
+  // mismatch. The lock lands BEFORE validation, so at every instant the
+  // reader either holds coverage on a granule a concurrent structural
+  // change will transfer correctly (splits/erases move coverage from
+  // exactly these granules) or is about to retry; a failed attempt's
+  // lock is a conservative leftover, never a hole. With index_olc=0 the
+  // caller's shared index latch excludes structural changes and
+  // validation passes first try.
+  const bool next_key_mode =
+      db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
+  for (;;) {
+    BTree::ReadView rv;
+    if (next_key_mode) {
+      std::string nk;
+      TupleId ntid;
+      PageId npage;
+      uint32_t nslot;
+      if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot, &rv)) {
+        db_->siread_.AcquireTuple(sxact_, tbl->id, npage, nslot);
+        if (tbl->index.Validate(rv)) return;
+        continue;
+      }
+      // No successor: fall through to a page lock on the tail leaf. rv
+      // witnessed the (empty) successor walk; rv2 the page resolution.
+      BTree::ReadView rv2;
+      PageId pg = tbl->index.PageFor(key, &rv2);
+      db_->siread_.AcquirePage(sxact_, tbl->id, pg);
+      if (tbl->index.Validate(rv) && tbl->index.Validate(rv2)) return;
+      continue;
     }
+    PageId pg = tbl->index.PageFor(key, &rv);
+    db_->siread_.AcquirePage(sxact_, tbl->id, pg);
+    if (tbl->index.Validate(rv)) return;
   }
-  db_->siread_.AcquirePage(sxact_, tbl->id, tbl->index.PageFor(key));
 }
 
 // ---------------------------------------------------------------------------
@@ -386,24 +490,36 @@ Status Transaction::Get(TableId table, const std::string& key,
     }
   }
 
-  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
-  TupleId tid;
-  PageId page;
-  uint32_t slot;
-  if (!tbl->index.Lookup(key, &tid, &page, &slot)) {
-    // Phantom protection for a miss: lock the gap the key would occupy.
-    AcquireGapLock(tbl, key);
-    return Status::NotFound("key " + key);
+  const bool olc = db_->opts_.engine.index_olc != 0;
+  for (;;) {
+    std::shared_lock<std::shared_mutex> il;
+    if (!olc) il = std::shared_lock<std::shared_mutex>(tbl->index_mu);
+    BTree::ReadView rv;
+    TupleId tid;
+    PageId page;
+    uint32_t slot;
+    if (!tbl->index.Lookup(key, &tid, &page, &slot, &rv)) {
+      // Phantom protection for a miss: lock the gap the key would occupy
+      // (self-validating), then confirm the miss itself wasn't raced by
+      // an insert of this very key.
+      AcquireGapLock(tbl, key);
+      if (olc && !tbl->index.Validate(rv)) continue;
+      return Status::NotFound("key " + key);
+    }
+    std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+    const Database::TupleChain& chain = tbl->tuples[tid];
+    int vi = VisibleVersion(chain);
+    TrackRead(tbl, chain, vi, page, slot);
+    // Validate AFTER the SIREAD acquire: if a split moved the granule
+    // meanwhile, the lock just taken was transferred (or is a harmless
+    // conservative leftover) and the retry re-locks the new coordinates.
+    if (olc && !tbl->index.Validate(rv)) continue;
+    if (vi < 0 || chain.versions[static_cast<size_t>(vi)].deleted) {
+      return Status::NotFound("key " + key);
+    }
+    if (value) *value = chain.versions[static_cast<size_t>(vi)].value;
+    return Status::OK();
   }
-  std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
-  const Database::TupleChain& chain = tbl->tuples[tid];
-  int vi = VisibleVersion(chain);
-  TrackRead(tbl, chain, vi, page, slot);
-  if (vi < 0 || chain.versions[static_cast<size_t>(vi)].deleted) {
-    return Status::NotFound("key " + key);
-  }
-  if (value) *value = chain.versions[static_cast<size_t>(vi)].value;
-  return Status::OK();
 }
 
 Status Transaction::ScanInternal(
@@ -463,44 +579,57 @@ Status Transaction::ScanInternal(
     return Status::OK();
   }
 
-  // Shared index pass for the whole scan (inserts are excluded, so the
-  // leaf walk is stable); each visited chain takes its stripe for the
-  // duration of the visit only.
-  std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+  // Leaf-at-a-time scan: each ScanLeaf batch is a point-in-time-
+  // consistent snapshot of one leaf, witnessed by a ReadView. SIREAD
+  // tracking follows acquire-then-validate — locks land before the view
+  // is validated, results are emitted only after it passes, and a failed
+  // validation redoes the same batch (cur is unchanged). With
+  // index_olc=0 the shared index latch excludes structural changes and
+  // every validation passes first try.
+  const bool olc = db_->opts_.engine.index_olc != 0;
+  std::shared_lock<std::shared_mutex> il;
+  if (!olc) il = std::shared_lock<std::shared_mutex>(tbl->index_mu);
   const bool track = sxact_ && !sxact_->safe_snapshot;
   const bool next_key_mode =
       db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
-  std::set<PageId> pages;
-  tbl->index.Scan(lo, hi,
-                  [&](const std::string& k, TupleId tid, PageId page,
-                      uint32_t slot) {
-                    std::shared_lock<std::shared_mutex> sl(
-                        tbl->heap_latch.For(tid));
-                    const Database::TupleChain& chain = tbl->tuples[tid];
-                    int vi = VisibleVersion(chain);
-                    if (track) {
-                      if (!next_key_mode) pages.insert(page);
-                      TrackRead(tbl, chain, vi, page, slot);
-                    }
-                    if (vi >= 0 &&
-                        !chain.versions[static_cast<size_t>(vi)].deleted) {
-                      fn(k, chain.versions[static_cast<size_t>(vi)].value);
-                    }
-                    return true;
-                  });
-  if (track) {
-    if (next_key_mode) {
-      // Lock the key that bounds the range on the right (phantoms there).
-      AcquireGapLock(tbl, hi);
-    } else {
-      // Page-granularity gap locks: every leaf the scan touched, plus the
-      // boundary leaves (covers empty ranges too).
-      pages.insert(tbl->index.PageFor(lo));
-      pages.insert(tbl->index.PageFor(hi));
-      for (PageId p : pages) db_->siread_.AcquirePage(sxact_, table, p);
+  std::string cur = lo;
+  BTree::LeafBatch batch;
+  BTree::ReadView rv;
+  std::vector<std::pair<std::string, std::string>> emit;
+  for (;;) {
+    const bool more = tbl->index.ScanLeaf(cur, hi, &batch, &rv);
+    emit.clear();
+    for (size_t i = 0; i < batch.keys.size(); i++) {
+      const TupleId tid = batch.tids[i];
+      std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+      const Database::TupleChain& chain = tbl->tuples[tid];
+      int vi = VisibleVersion(chain);
+      if (track) TrackRead(tbl, chain, vi, batch.page, batch.slots[i]);
+      if (vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted) {
+        emit.emplace_back(batch.keys[i],
+                          chain.versions[static_cast<size_t>(vi)].value);
+      }
     }
+    if (track && !next_key_mode && !batch.keys.empty()) {
+      // Page-granularity gap lock on the visited leaf.
+      db_->siread_.AcquirePage(sxact_, table, batch.page);
+    }
+    if (!more && track) {
+      if (next_key_mode) {
+        // Lock the key that bounds the range on the right (phantoms
+        // there). Self-validating, idempotent across batch retries.
+        AcquireGapLock(tbl, hi);
+      } else {
+        // Boundary leaves (covers empty ranges too).
+        AcquireGapLock(tbl, lo);
+        AcquireGapLock(tbl, hi);
+      }
+    }
+    if (olc && !tbl->index.Validate(rv)) continue;  // redo this batch
+    for (const auto& kv : emit) fn(kv.first, kv.second);
+    if (!more) return Status::OK();
+    cur = batch.keys.back() + '\0';
   }
-  return Status::OK();
 }
 
 Status Transaction::Scan(TableId table, const std::string& lo,
@@ -572,167 +701,212 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
     }
   }
 
-  // Existing chain: a single-chain write — shared index pass plus the
-  // chain's stripe held exclusively. Writers of independent keys land on
-  // independent stripes and run concurrently.
-  {
-    std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+  // Existing chain: a single-chain write — the chain's stripe held
+  // exclusively (plus, with index_olc=0, a shared index pass). Writers
+  // of independent keys land on independent stripes and run
+  // concurrently. With index_olc=1 the lookup is validated after the
+  // stripe is taken: a GC erase of this key's aborted entry holds the
+  // stripe across its Erase, so a stale hit either blocks until the
+  // erase's version bump lands (and restarts into the new-key path) or
+  // won the stripe first (and the GC record gets re-enqueued).
+  const bool olc = db_->opts_.engine.index_olc != 0;
+  for (;;) {
+    std::shared_lock<std::shared_mutex> il;
+    if (!olc) il = std::shared_lock<std::shared_mutex>(tbl->index_mu);
+    BTree::ReadView rv;
     TupleId tid;
     PageId page;
     uint32_t slot;
-    if (tbl->index.Lookup(key, &tid, &page, &slot)) {
-      std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
-      Database::TupleChain& chain = tbl->tuples[tid];
-      if (!use_s2pl_) {
-        // First-updater-wins: a version committed after our snapshot means
-        // a concurrent writer beat us.
-        for (const auto& v : chain.versions) {
-          if (v.commit_seq > snapshot_seq_ && v.commit_seq != 0) {
-            sl.unlock();
-            il.unlock();
-            db_->ww_aborts_.fetch_add(1, std::memory_order_relaxed);
-            AbortInternal();
-            return Status::SerializationFailure(
-                "could not serialize access due to concurrent update");
-          }
-        }
+    if (!tbl->index.Lookup(key, &tid, &page, &slot, &rv)) {
+      if (deleted) {
+        // Failed Delete of an absent key: the statement read the gap the
+        // key would occupy — lock it exactly as a Get miss does, so a
+        // concurrent insert of this key produces the required rw edge.
+        AcquireGapLock(tbl, key);
+        if (olc && !tbl->index.Validate(rv)) continue;
+        return Status::NotFound("key " + key);
       }
-      int vi = VisibleVersion(chain);
-      bool visible_live =
-          vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted;
-      if ((!upsert && !deleted && visible_live) ||
-          (deleted && !visible_live)) {
-        // Statement-level failure — but the statement still READ the
-        // row's (non)existence to fail. Leave exactly the SIREAD lock and
-        // rw-antidependency flags a Get would (Section 5.2: every read,
-        // including reads performed implicitly by writes, must be
-        // tracked), or a concurrent delete/insert of this key misses the
-        // required rw edge and write skew can commit.
-        TrackRead(tbl, chain, vi, page, slot);
-        return visible_live ? Status::AlreadyExists("key " + key)
-                            : Status::NotFound("key " + key);
-      }
-      if (sxact_) {
-        // Probe at the index-reported coordinates: readers lock the
-        // granule the index reports, and a leaf split may have moved the
-        // entry since the chain was created.
-        auto probe = db_->siread_.ProbeHeapWrite(table, page, slot);
-        for (XactId h : probe.holder_xids) {
-          if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
-        }
-        if (db_->opts_.engine.enable_write_supersedes_siread) {
-          db_->siread_.ReleaseOwnTuple(sxact_, table, page, slot);
-        }
-        if (db_->siread_.Doomed(sxact_)) {
+      break;  // new key: fall through to the insert path
+    }
+    std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+    if (olc && !tbl->index.Validate(rv)) continue;  // entry moved/erased
+    Database::TupleChain& chain = tbl->tuples[tid];
+    if (!use_s2pl_) {
+      // First-updater-wins: a version committed after our snapshot means
+      // a concurrent writer beat us.
+      for (const auto& v : chain.versions) {
+        if (v.commit_seq > snapshot_seq_ && v.commit_seq != 0) {
           sl.unlock();
-          il.unlock();
+          if (il.owns_lock()) il.unlock();
+          db_->ww_aborts_.fetch_add(1, std::memory_order_relaxed);
           AbortInternal();
           return Status::SerializationFailure(
-              "canceled due to rw-antidependency conflict");
+              "could not serialize access due to concurrent update");
         }
       }
-      if (!chain.versions.empty() && chain.versions.back().xid == xid_ &&
-          chain.versions.back().commit_seq == 0) {
-        chain.versions.back().value = value;
-        chain.versions.back().deleted = deleted;
-      } else {
-        chain.versions.push_back(Database::Version{value, xid_, 0, deleted});
-        writes_.push_back(WriteRec{table, tid, /*created=*/false});
-      }
-      // Prune stale history nobody can see anymore.
-      if (chain.versions.size() > kPruneChainLength) {
-        uint64_t oldest = db_->txn_mgr_.OldestActiveSnapshot();
-        auto& vs = chain.versions;
-        while (vs.size() > 1 && vs[1].commit_seq != 0 &&
-               vs[1].commit_seq <= oldest) {
-          vs.erase(vs.begin());
-        }
-      }
-      return Status::OK();
     }
-    if (deleted) {
-      // Failed Delete of an absent key: the statement read the gap the
-      // key would occupy — lock it exactly as a Get miss does (a shared
-      // index pass suffices), so a concurrent insert of this key
-      // produces the required rw edge.
-      AcquireGapLock(tbl, key);
-      return Status::NotFound("key " + key);
+    int vi = VisibleVersion(chain);
+    bool visible_live =
+        vi >= 0 && !chain.versions[static_cast<size_t>(vi)].deleted;
+    if ((!upsert && !deleted && visible_live) || (deleted && !visible_live)) {
+      // Statement-level failure — but the statement still READ the
+      // row's (non)existence to fail. Leave exactly the SIREAD lock and
+      // rw-antidependency flags a Get would (Section 5.2: every read,
+      // including reads performed implicitly by writes, must be
+      // tracked), or a concurrent delete/insert of this key misses the
+      // required rw edge and write skew can commit.
+      TrackRead(tbl, chain, vi, page, slot);
+      if (olc && !tbl->index.Validate(rv)) {
+        sl.unlock();
+        continue;  // granule moved mid-track: re-resolve and re-lock
+      }
+      return visible_live ? Status::AlreadyExists("key " + key)
+                          : Status::NotFound("key " + key);
     }
+    if (sxact_) {
+      // Probe at the index-reported coordinates: readers lock the
+      // granule the index reports, and a leaf split may have moved the
+      // entry since the chain was created.
+      auto probe = db_->siread_.ProbeHeapWrite(table, page, slot);
+      for (XactId h : probe.holder_xids) {
+        if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+      }
+      if (db_->opts_.engine.enable_write_supersedes_siread) {
+        db_->siread_.ReleaseOwnTuple(sxact_, table, page, slot);
+      }
+      if (db_->siread_.Doomed(sxact_)) {
+        sl.unlock();
+        if (il.owns_lock()) il.unlock();
+        AbortInternal();
+        return Status::SerializationFailure(
+            "canceled due to rw-antidependency conflict");
+      }
+      if (olc && !tbl->index.Validate(rv)) {
+        // A split relocated the granule mid-probe: the probe may have
+        // missed a reader that locked the NEW coordinates. Redo it.
+        sl.unlock();
+        continue;
+      }
+    }
+    if (!chain.versions.empty() && chain.versions.back().xid == xid_ &&
+        chain.versions.back().commit_seq == 0) {
+      chain.versions.back().value = value;
+      chain.versions.back().deleted = deleted;
+    } else {
+      chain.versions.push_back(Database::Version{value, xid_, 0, deleted});
+      writes_.push_back(WriteRec{table, tid, /*created=*/false});
+    }
+    // Prune stale history nobody can see anymore (lock-free bound).
+    if (chain.versions.size() > kPruneChainLength) {
+      uint64_t oldest = db_->txn_mgr_.OldestActiveSnapshot();
+      auto& vs = chain.versions;
+      while (vs.size() > 1 && vs[1].commit_seq != 0 &&
+             vs[1].commit_seq <= oldest) {
+        vs.erase(vs.begin());
+      }
+    }
+    return Status::OK();
   }
 
   // New key: a structural change (index insert, possible leaf split, gap
-  // probes) — the only write path that takes the index latch exclusively.
-  // The key's exclusive row lock (held since the preamble) pins its
-  // (non)existence, so the miss observed under the shared latch above
-  // cannot have been raced by another inserter.
-  std::unique_lock<std::shared_mutex> il(tbl->index_mu);
+  // probes). The key's exclusive row lock (held since the preamble) pins
+  // its (non)existence, so the miss observed above cannot have been
+  // raced by another inserter of the SAME key. With index_olc=1 this
+  // path never touches index_mu: InsertGuarded locks only the gap's
+  // leaves and runs the SIREAD gap probe + coverage transfer under those
+  // leaf locks (probe may run multiple times across restarts —
+  // idempotent; transfer runs exactly once). With index_olc=0 the
+  // exclusive index latch reproduces the old serialization.
   const bool next_key_mode =
       db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
+  // Chain first, index second: the chain must be fully populated before
+  // the index entry is published, because latch-free readers resolve the
+  // entry and read the chain with no index latch. The stripe is NOT held
+  // across InsertGuarded (stripe orders before leaf locks).
+  TupleId tid2;
+  {
+    std::lock_guard<std::mutex> al(tbl->alloc_mu);
+    if (!tbl->free_chains.empty()) {
+      // Recycle a chain whose creating insert aborted (its index entry
+      // is already gone — the free-list invariant).
+      tid2 = tbl->free_chains.back();
+      tbl->free_chains.pop_back();
+    } else {
+      tid2 = static_cast<TupleId>(tbl->tuples.Append());
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid2));
+    Database::TupleChain& chain = tbl->tuples[tid2];
+    chain.key = key;
+    chain.versions.push_back(Database::Version{value, xid_, 0, false});
+  }
+  std::unique_lock<std::shared_mutex> il2;
+  if (!olc) il2 = std::unique_lock<std::shared_mutex>(tbl->index_mu);
+  BTree::InsertHooks hooks;
   if (sxact_) {
-    // Gap probe: does any reader hold a predicate lock covering the spot
-    // this key lands in?
-    if (next_key_mode) {
-      std::string nk;
-      TupleId ntid;
-      PageId npage;
-      uint32_t nslot;
-      if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot)) {
+    hooks.probe = [&](const std::vector<PageId>& probe_pages, bool has_next,
+                      PageId npage, uint32_t nslot) {
+      // Gap probe: does any reader hold a predicate lock covering the
+      // spot this key lands in? Runs under the gap's leaf locks, so a
+      // reader's acquire-then-validate either made its lock visible here
+      // or will fail validation and retry against the new entry.
+      if (next_key_mode && has_next) {
         auto probe = db_->siread_.ProbeHeapWrite(table, npage, nslot);
         for (XactId h : probe.holder_xids) {
           if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
         }
       }
-    }
-    // Page-granule probe over every leaf this key's gap can span: with
-    // erases leaving empty leaves behind, a reader's boundary page lock
-    // (or coverage transferred off an erased granule) may sit on a later
-    // leaf than the one the insert lands on.
-    std::vector<PageId> probe_pages;
-    tbl->index.ProbePages(key, &probe_pages);
-    for (PageId pp : probe_pages) {
-      auto probe = db_->siread_.ProbeHeapWrite(table, pp, kNoSlot);
-      for (XactId h : probe.holder_xids) {
-        if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+      // Page-granule probe over every leaf this key's gap can span: with
+      // erases leaving empty leaves behind, a reader's boundary page
+      // lock (or coverage transferred off an erased granule) may sit on
+      // a later leaf than the one the insert lands on.
+      for (PageId pp : probe_pages) {
+        auto probe = db_->siread_.ProbeHeapWrite(table, pp, kNoSlot);
+        for (XactId h : probe.holder_xids) {
+          if (h != xid_) db_->siread_.FlagRwConflictWithReader(h, sxact_);
+        }
       }
-    }
-    if (db_->siread_.Doomed(sxact_)) {
-      il.unlock();
-      AbortInternal();
-      return Status::SerializationFailure(
-          "canceled due to rw-antidependency conflict");
-    }
+      return !db_->siread_.Doomed(sxact_);
+    };
   }
-  TupleId tid2;
-  if (!tbl->free_chains.empty()) {
-    // Recycle a chain whose creating insert aborted.
-    tid2 = tbl->free_chains.back();
-    tbl->free_chains.pop_back();
-    tbl->tuples[tid2].key = key;
-  } else {
-    tid2 = tbl->tuples.size();
-    tbl->tuples.push_back(Database::TupleChain{key, {}});
+  if (next_key_mode) {
+    hooks.transfer = [&](PageId npage, uint32_t nslot, PageId newp,
+                         uint32_t news) {
+      // This insert split the gap it landed in: a reader's next-key gap
+      // lock sits on the OLD successor's granule, but a second insert
+      // into the lower sub-gap will probe the NEW entry instead. Mirror
+      // OnPageSplit: copy the old next-key granule's holders onto the
+      // new entry's granule. Runs under the leaf locks, so the
+      // successor cannot be relocated mid-transfer.
+      db_->siread_.OnGapTransfer(table, npage, nslot, newp, news);
+    };
   }
   PageId ipage;
   uint32_t islot;
-  tbl->index.Insert(key, tid2, &ipage, &islot);
-  tbl->tuples[tid2].versions.push_back(
-      Database::Version{value, xid_, 0, false});
-  writes_.push_back(WriteRec{table, tid2, /*created=*/true});
-  if (next_key_mode) {
-    // This insert split the gap it landed in: a reader's next-key gap
-    // lock sits on the OLD successor's granule, but a second insert into
-    // the lower sub-gap will probe the NEW entry instead. Mirror
-    // OnPageSplit: copy the old next-key granule's holders onto the new
-    // entry's granule. Re-resolve the successor after the insert — a
-    // leaf split during Insert may have relocated it (and its locks).
-    std::string nk;
-    TupleId ntid;
-    PageId npage;
-    uint32_t nslot;
-    if (tbl->index.NextKey(key, &nk, &ntid, &npage, &nslot)) {
-      db_->siread_.OnGapTransfer(table, npage, nslot, ipage, islot);
+  const BTree::InsertResult res =
+      tbl->index.InsertGuarded(key, tid2, &ipage, &islot, hooks);
+  if (res != BTree::InsertResult::kInserted) {
+    // kAborted: the gap probe found us doomed. (kExists is unreachable —
+    // the row lock pins absence — but is handled the same, defensively.)
+    // Unwind the unpublished chain and recycle it directly: its index
+    // entry never existed, so no GC record is needed.
+    {
+      std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid2));
+      Database::TupleChain& chain = tbl->tuples[tid2];
+      chain.versions.clear();
+      chain.key.clear();
     }
+    {
+      std::lock_guard<std::mutex> al(tbl->alloc_mu);
+      tbl->free_chains.push_back(tid2);
+    }
+    if (il2.owns_lock()) il2.unlock();
+    AbortInternal();
+    return Status::SerializationFailure(
+        "canceled due to rw-antidependency conflict");
   }
+  writes_.push_back(WriteRec{table, tid2, /*created=*/true});
   return Status::OK();
 }
 

@@ -11,9 +11,9 @@
 // concurrent use from many threads, each with its own Transaction.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
@@ -54,6 +54,12 @@ class Database {
   size_t LiveTupleChainCount(TableId table) const;
   /// Entries currently present in the table's B+-tree.
   size_t IndexEntryCount(TableId table) const;
+  /// Leaves currently linked into the table's B+-tree chain (the
+  /// empty-leaf recycling regression asserts this stays bounded).
+  size_t IndexLeafCount(TableId table) const;
+  /// Test-only: force the next `n` index insert attempts on `table` to
+  /// restart after their gap probe (exercises the OLC restart path).
+  void TestForceIndexInsertRestarts(TableId table, int n);
   /// Cross-checks the SIREAD lock tables against holder bookkeeping.
   bool CheckSsiLockConsistency() const { return siread_.CheckConsistency(); }
   /// SIREAD lock-table entry counts (the gap-transfer growth-bound
@@ -78,18 +84,60 @@ class Database {
     std::string key;
     std::vector<Version> versions;  // oldest first
   };
-  // Two-level table latching (lock order: index_mu > heap stripe >
-  // SIREAD partition):
-  //  - index_mu guards the B+-tree structure and the tuples container
-  //    layout. Readers and single-chain writers take it SHARED; only
-  //    structural operations — new-key insert (with its gap probe and
-  //    possible leaf split), aborted-insert removal — take it exclusive.
+  // Lock-free-read segmented chain storage (replaces std::deque):
+  // resolving a TupleId is two atomic loads and never takes a latch, so
+  // OLC-mode inserts can append chains while readers resolve others.
+  // Segments are allocated under Table::alloc_mu and never freed or
+  // moved until destruction; a TupleId resolved once stays valid.
+  class ChainStore {
+   public:
+    static constexpr size_t kSegBits = 13;
+    static constexpr size_t kSegSize = size_t{1} << kSegBits;
+    static constexpr size_t kMaxSegs = size_t{1} << 13;  // 67M chains
+    ChainStore() {
+      for (auto& s : segs_) s.store(nullptr, std::memory_order_relaxed);
+    }
+    ~ChainStore() {
+      for (auto& s : segs_) delete[] s.load(std::memory_order_relaxed);
+    }
+    TupleChain& operator[](TupleId tid) const {
+      return segs_[static_cast<size_t>(tid) >> kSegBits].load(
+          std::memory_order_acquire)[static_cast<size_t>(tid) &
+                                     (kSegSize - 1)];
+    }
+    size_t size() const { return size_.load(std::memory_order_acquire); }
+    /// Appends one empty chain. Caller holds Table::alloc_mu.
+    TupleId Append() {
+      const size_t n = size_.load(std::memory_order_relaxed);
+      auto& seg = segs_[n >> kSegBits];
+      if (seg.load(std::memory_order_relaxed) == nullptr) {
+        seg.store(new TupleChain[kSegSize], std::memory_order_release);
+      }
+      size_.store(n + 1, std::memory_order_release);
+      return static_cast<TupleId>(n);
+    }
+
+   private:
+    mutable std::array<std::atomic<TupleChain*>, kMaxSegs> segs_;
+    std::atomic<size_t> size_{0};
+  };
+  // Table latching (lock order, outermost first: row locks > index_mu
+  // [index_olc=0 only] > heap stripe > B+-tree structure lock > leaf
+  // version locks (chain order) > alloc_mu > SIREAD partition >
+  // per-xact spinlocks/edge locks):
+  //  - index_mu exists for the index_olc=0 A/B baseline only: readers
+  //    and single-chain writers take it SHARED, structural operations
+  //    (new-key insert, aborted-insert GC) take it exclusive. With
+  //    index_olc=1 nothing acquires it: descent is latch-free and
+  //    validated, inserts lock only the touched leaves (see
+  //    index/btree.h for the acquire-then-validate protocol).
   //  - heap_latch stripes (hash of TupleId) guard chain content: chain
   //    readers take their stripe shared, chain writers exclusive. This
   //    is what lets writers of independent keys run concurrently.
-  // free_chains recycles TupleIds of chains whose creating insert
-  // aborted (the index entry is removed on rollback); guarded by
-  // index_mu held exclusively.
+  //  - alloc_mu guards ChainStore::Append and free_chains. free_chains
+  //    recycles TupleIds of chains whose creating insert aborted; a
+  //    chain enters it only AFTER its index entry is gone (inline with
+  //    rollback when index_olc=0, in DrainIndexGc when index_olc=1).
   struct Table {
     Table(TableId i, std::string n, uint32_t fanout, uint32_t stripes)
         : id(i), name(std::move(n)), index(fanout), heap_latch(stripes) {}
@@ -97,7 +145,8 @@ class Database {
     std::string name;
     mutable std::shared_mutex index_mu;
     BTree index;  // key -> TupleId (+ page/slot granule)
-    std::deque<TupleChain> tuples;
+    ChainStore tuples;
+    std::mutex alloc_mu;
     std::vector<TupleId> free_chains;
     StripedLatch heap_latch;
   };
@@ -105,6 +154,20 @@ class Database {
   explicit Database(const DatabaseOptions& opts);
   Table* GetTable(TableId id) const;
   void RunSireadCleanup();
+
+  // Deferred aborted-insert index GC (index_olc=1): rollback of a
+  // created chain only empties it and enqueues a record here; the erase
+  // (+ coverage transfer + chain recycle) happens in DrainIndexGc, off
+  // the insert path. A record whose chain got re-populated meanwhile is
+  // re-enqueued (uncommitted writer) or dropped (committed — the chain
+  // is live again).
+  struct IndexGcRec {
+    TableId table;
+    TupleId tid;
+  };
+  void EnqueueIndexGc(TableId table, TupleId tid);
+  void DrainIndexGc();
+  BTree::EraseHooks MakeEraseHooks(Table* tbl);
 
   DatabaseOptions opts_;
   txn::TxnManager txn_mgr_;
@@ -114,6 +177,9 @@ class Database {
   mutable std::shared_mutex tables_mu_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, TableId> table_names_;
+
+  std::mutex gc_mu_;
+  std::vector<IndexGcRec> gc_queue_;
 
   std::atomic<uint64_t> ww_aborts_{0};
   std::atomic<uint64_t> s2pl_deadlocks_{0};
@@ -178,8 +244,10 @@ class Transaction {
   void TrackRead(Database::Table* tbl, const Database::TupleChain& chain,
                  int visible_idx, PageId page, uint32_t slot);
   // SIREAD-lock the gap `key` falls into (next-key tuple or leaf page,
-  // per EngineConfig::index_gap_locking). Caller holds the index latch
-  // (shared suffices: only the index is consulted).
+  // per EngineConfig::index_gap_locking). Self-validating: resolves the
+  // gap optimistically, acquires, then validates the index view and
+  // retries on mismatch (a no-op spin when index_olc=0, where the
+  // caller's shared index latch excludes structural changes).
   void AcquireGapLock(Database::Table* tbl, const std::string& key);
 
   Database* db_;

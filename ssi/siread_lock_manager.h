@@ -156,6 +156,9 @@ class SireadLockManager {
   /// Section 5.2.2: a B+-tree leaf split moved `moved_slots` from
   /// `old_page` to `new_page`; move the tuple locks and duplicate the
   /// page locks. May take two partition locks, in canonical index order.
+  /// Called from the tree's split listener with the structure lock and
+  /// both leaves' write locks held, so no granule it transfers can move
+  /// again concurrently.
   void OnPageSplit(RelationId rel, PageId old_page, PageId new_page,
                    const std::vector<uint32_t>& moved_slots);
 
@@ -174,8 +177,13 @@ class SireadLockManager {
   /// tuple-granule holders of (from_page, from_slot) plus, when the
   /// pages differ, page-granule holders of from_page — their page lock
   /// does not reach to_page. May take two partition locks, in canonical
-  /// index order. The caller must hold the latch serializing index
-  /// structure changes for this relation.
+  /// index order. The caller must hold whatever serializes structural
+  /// changes to the affected gap: with index_olc=0 the table's
+  /// exclusive index latch; with index_olc=1 the write locks of every
+  /// leaf the gap spans (InsertHooks/EraseHooks run there) — readers
+  /// then follow acquire-then-validate, so a lock acquired against the
+  /// pre-transfer granule is either visible to this copy or the
+  /// reader's validation fails and it re-resolves.
   void OnGapTransfer(RelationId rel, PageId from_page, uint32_t from_slot,
                      PageId to_page, uint32_t to_slot);
   void OnGapTransferToPage(RelationId rel, PageId from_page,

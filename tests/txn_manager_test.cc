@@ -9,6 +9,7 @@
 #include <chrono>
 #include <limits>
 #include <thread>
+#include <vector>
 
 #include "txn/txn_manager.h"
 
@@ -98,6 +99,46 @@ TEST(TxnManagerTest, OldestActiveSnapshotAndWaitForFinish) {
   t.join();
   m.Abort(c.xid);
   EXPECT_EQ(m.OldestActiveSnapshot(), std::numeric_limits<uint64_t>::max());
+}
+
+// Regression for the O(1) cached-minimum OldestActiveSnapshot: the
+// cleanup bound must never pass a concurrent Begin. Every active
+// transaction checks, from its own thread, that no bound computed while
+// it is registered exceeds its snapshot — i.e. the lock-free shard
+// minimum can be conservative but never misses a live registration.
+TEST(TxnManagerTest, CleanupBoundNeverPassesConcurrentBegin) {
+  TxnManager m;
+  {
+    auto seed = m.Begin(false);
+    m.Commit(seed.xid, nullptr);  // nonzero watermark
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; i++) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto r = m.Begin(false);
+        // While we are active, OldestActiveSnapshot <= our snapshot, so
+        // any cleanup bound computed NOW must not exceed it.
+        for (int j = 0; j < 4; j++) {
+          if (m.CleanupBound() > r.snapshot_seq) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        m.Commit(r.xid, nullptr);
+      }
+    });
+  }
+  // A dedicated cleaner hammering the bound while Begins race it.
+  std::thread cleaner([&] {
+    while (!stop.load(std::memory_order_acquire)) (void)m.CleanupBound();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  cleaner.join();
+  EXPECT_EQ(violations.load(), 0u);
 }
 
 }  // namespace

@@ -31,13 +31,31 @@ TxnManager::BeginResult TxnManager::Begin(bool serializable_rw) {
   {
     std::lock_guard<std::mutex> l(sh.mu);
     sh.active.emplace(xid, ActiveTxn{provisional, serializable_rw});
+    // Publish the (possibly too-low) provisional into the cached shard
+    // minimum before the snapshot reload. A cleanup thread that misses
+    // this seq_cst store entirely read the shard minimum BEFORE it in
+    // the seq_cst order; its bound came from a watermark load that also
+    // precedes it, so the reload below — a seq_cst load ordered after
+    // this store — returns a watermark at least that large: the final
+    // snapshot can never sink below a bound computed without it.
+    if (provisional < sh.min_snapshot.load(std::memory_order_relaxed)) {
+      sh.min_snapshot.store(provisional);
+    }
   }
   const uint64_t snap = last_committed_seq_.load();
   if (snap != provisional) {
     std::lock_guard<std::mutex> l(sh.mu);
     sh.active[xid].snapshot_seq = snap;
+    // The provisional may have been holding the cached minimum down.
+    RecomputeMinLocked(sh);
   }
   return BeginResult{xid, snap};
+}
+
+void TxnManager::RecomputeMinLocked(Shard& sh) {
+  uint64_t m = std::numeric_limits<uint64_t>::max();
+  for (const auto& [xid, t] : sh.active) m = std::min(m, t.snapshot_seq);
+  sh.min_snapshot.store(m);
 }
 
 uint64_t TxnManager::Commit(XactId xid,
@@ -104,7 +122,11 @@ void TxnManager::Deregister(XactId xid) {
     auto it = sh.active.find(xid);
     if (it == sh.active.end()) return;
     was_rw = it->second.serializable_rw;
+    const uint64_t snap = it->second.snapshot_seq;
     sh.active.erase(it);
+    if (snap <= sh.min_snapshot.load(std::memory_order_relaxed)) {
+      RecomputeMinLocked(sh);  // we may have been the minimum holder
+    }
   }
   if (was_rw) active_serializable_rw_.fetch_sub(1);
   sh.finished_cv.notify_all();
@@ -114,13 +136,26 @@ void TxnManager::Abort(XactId xid) { Deregister(xid); }
 
 uint64_t TxnManager::OldestActiveSnapshot() const {
   uint64_t oldest = std::numeric_limits<uint64_t>::max();
-  for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> l(sh.mu);
-    for (const auto& [xid, t] : sh.active) {
-      oldest = std::min(oldest, t.snapshot_seq);
-    }
+  for (const Shard& sh : shards_) {
+    oldest = std::min(oldest, sh.min_snapshot.load());
   }
   return oldest;
+}
+
+uint64_t TxnManager::CleanupBound() const {
+  // Read the watermark FIRST, then the oldest snapshot, and clamp to
+  // their minimum. A bare OldestActiveSnapshot is racy — a thread can
+  // compute it (say, infinity, with nothing active), stall, and apply it
+  // much later, freeing SIREAD state of transactions that committed in
+  // the meantime while a concurrent reader is live. Any transaction with
+  // commit_seq <= the pre-read bound was published before the bound was
+  // read; and a Begin this scan missed published its shard-minimum
+  // update after the scan's seq_cst load, so its own snapshot reload
+  // (seq_cst, ordered after that update) observed a watermark >= the
+  // bound — it is not concurrent with anything freed. (Both loads here
+  // are seq_cst; see the matching comment in Begin.)
+  const uint64_t bound = last_committed_seq_.load();
+  return std::min(bound, OldestActiveSnapshot());
 }
 
 std::vector<XactId> TxnManager::ActiveSerializableRW() const {

@@ -66,7 +66,16 @@ class TxnManager {
     return last_committed_seq_.load(std::memory_order_acquire);
   }
   /// Smallest snapshot among active transactions; UINT64_MAX when none.
+  /// Lock-free: one atomic load per shard (each shard caches its own
+  /// minimum, maintained under the shard mutex on Begin/finish), so the
+  /// SIREAD cleanup threshold and version-chain pruning no longer scan
+  /// every shard's registry under its mutex.
   uint64_t OldestActiveSnapshot() const;
+  /// The Section 5.3 cleanup threshold: min(LastCommittedSeq,
+  /// OldestActiveSnapshot), with the loads ordered so the bound can
+  /// never free state a concurrent Begin still depends on (see the
+  /// implementation comment).
+  uint64_t CleanupBound() const;
   std::vector<XactId> ActiveSerializableRW() const;
   /// Lock-free (one atomic counter read; seq_cst so it cannot reorder
   /// with the snapshot load that precedes it in the safe-snapshot check).
@@ -96,11 +105,21 @@ class TxnManager {
     mutable std::mutex mu;
     std::condition_variable finished_cv;
     std::unordered_map<XactId, ActiveTxn> active;
+    // Cached min over active[*].snapshot_seq (UINT64_MAX when empty).
+    // Written only under mu (lowered on Begin, recomputed when the
+    // holder raises its snapshot or deregisters); read lock-free by
+    // OldestActiveSnapshot. May transiently sit BELOW the true map
+    // minimum (a Begin's provisional value), which only makes the
+    // cleanup bound more conservative — never above it. seq_cst, paired
+    // with the seq_cst watermark loads in Begin/CleanupBound.
+    std::atomic<uint64_t> min_snapshot{UINT64_MAX};
   };
   Shard& ShardFor(XactId xid) const {
     return shards_[static_cast<size_t>(xid) & (kShards - 1)];
   }
   void Deregister(XactId xid);
+  // Recomputes sh.min_snapshot from the map; sh.mu held.
+  static void RecomputeMinLocked(Shard& sh);
 
   std::atomic<XactId> next_xid_{1};
   std::atomic<uint64_t> next_commit_seq_{0};
