@@ -1,14 +1,24 @@
-// Figure 5b reproduction: DBT-2++ throughput, disk-bound configuration.
+// Figure 5b reproduction + durability A/B: DBT-2++ throughput in the
+// disk-bound configuration, now with the WAL in the loop.
 //
 // The paper's 150-warehouse / RAID configuration is simulated with a
-// per-heap-access I/O delay (EngineConfig::simulated_io_delay_us) and a
-// higher concurrency level: with I/O dominating, SSI's CPU overhead stops
-// mattering and its throughput becomes indistinguishable from SI, while
-// S2PL still pays for blocking; serialization-failure rates stay well
-// under 1% (Section 8.2).
-// Also emits BENCH_dbt2_disk.json (mode/threads/ro-frac rows) for the
-// perf trajectory.
+// per-heap-access I/O delay (EngineConfig::simulated_io_delay_us); the
+// durability axis is real — commits append to an actual log file and
+// fsync per EngineConfig::wal_fsync. Three series:
+//
+//   A. durability cost: SI and SSI at ro-frac 0.2 with WAL off, group
+//      commit (fsync=batch), and fsync=always — the group-commit win is
+//      the gap between the last two, reported alongside fsyncs/txn;
+//   B. group-commit sweep: SSI/fsync=batch across wal_fsync_batch, the
+//      batching knob's diminishing-returns curve;
+//   C. the original Figure 5b shape (SI/SSI/S2PL vs read-only fraction)
+//      with durability on (fsync=batch) — SSI ~= SI must survive the WAL.
+//
+// Emits BENCH_dbt2_disk.json. Scratch logs live under wal_bench_scratch/
+// (gitignored) and are removed per-point.
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -19,49 +29,157 @@ using namespace pgssi;
 using namespace pgssi::bench;
 using namespace pgssi::workload;
 
+namespace {
+
+const char* kScratchRoot = "wal_bench_scratch";
+
+struct WalVariant {
+  const char* name;       // series suffix
+  bool enabled;
+  WalFsyncMode mode;
+  uint32_t batch;
+};
+
+struct PointResult {
+  BenchRow row;
+  double throughput;
+  double failure_rate;
+  double fsyncs_per_txn;
+};
+
+// One measured point: fresh scratch WAL dir, load, run, tear down.
+PointResult RunPoint(Mode m, const WalVariant& wal, double ro_frac,
+                     int threads, uint64_t io_delay_us, double secs,
+                     const std::string& series, int* rc) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      std::string(kScratchRoot) + "/" + std::to_string(
+          std::hash<std::string>{}(series + std::to_string(ro_frac)) & 0xFFFF);
+  fs::remove_all(dir);
+
+  DatabaseOptions opts = OptionsFor(m, io_delay_us);
+  opts.engine.wal_enabled = wal.enabled;
+  opts.engine.wal_dir = dir;
+  opts.engine.wal_fsync = wal.mode;
+  opts.engine.wal_fsync_batch = wal.batch;
+
+  PointResult out{};
+  Status st;
+  auto db = Database::Open(opts, &st);
+  if (!db) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    *rc = 1;
+    return out;
+  }
+  Dbt2Config cfg;
+  cfg.warehouses = 32;  // larger scale than the in-memory configuration
+  cfg.read_only_fraction = ro_frac;
+  cfg.isolation = IsolationFor(m);
+  Dbt2 bench(db.get(), cfg);
+  st = bench.Load();
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    *rc = 1;
+    return out;
+  }
+  const uint64_t fsyncs_before = db->WalFsyncCount();  // loading synced too
+  DriverResult r = RunFixedDuration(
+      [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
+  const uint64_t fsyncs = db->WalFsyncCount() - fsyncs_before;
+
+  out.throughput = r.Throughput();
+  out.failure_rate = r.FailureRate();
+  out.fsyncs_per_txn =
+      r.committed > 0 ? static_cast<double>(fsyncs) /
+                            static_cast<double>(r.committed)
+                      : 0;
+  out.row = RowFromDriver(series, threads, r);
+  out.row.extra = {{"ro_frac", ro_frac},
+                   {"io_delay_us", static_cast<double>(io_delay_us)},
+                   {"wal_fsync_batch",
+                    wal.enabled ? static_cast<double>(wal.batch) : 0.0},
+                   {"fsyncs_per_txn", out.fsyncs_per_txn}};
+  db.reset();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return out;
+}
+
+}  // namespace
+
 int main() {
   const double secs = PointSeconds(1.0);
   const int threads = 16;  // more concurrency, as in the paper's disk config
   const uint64_t io_delay_us = 30;
-  const std::vector<double> ro_fracs = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
-  const std::vector<Mode> modes = {Mode::kSI, Mode::kSSI, Mode::kS2PL};
-
-  std::printf("# Figure 5b: DBT-2++ (disk-bound, %lluus simulated I/O), "
-              "normalized throughput vs read-only fraction\n",
-              static_cast<unsigned long long>(io_delay_us));
-  std::printf("# threads=%d, %gs per point\n", threads, secs);
-  std::printf("%-10s %-20s %12s %12s %14s\n", "ro-frac", "mode", "txn/s",
-              "normalized", "failure-rate");
-
+  int rc = 0;
   std::vector<BenchRow> rows_out;
-  for (double f : ro_fracs) {
-    double si_throughput = 0;
-    for (Mode m : modes) {
-      auto db = Database::Open(OptionsFor(m, io_delay_us));
-      Dbt2Config cfg;
-      cfg.warehouses = 32;  // larger scale than the in-memory configuration
-      cfg.read_only_fraction = f;
-      cfg.isolation = IsolationFor(m);
-      Dbt2 bench(db.get(), cfg);
-      Status st = bench.Load();
-      if (!st.ok()) {
-        std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
-      DriverResult r = RunFixedDuration(
-          [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
-      if (m == Mode::kSI) si_throughput = r.Throughput();
-      BenchRow row = RowFromDriver(ModeName(m), threads, r);
-      row.extra = {{"ro_frac", f},
-                   {"io_delay_us", static_cast<double>(io_delay_us)}};
-      rows_out.push_back(row);
-      std::printf("%-10.0f%% %-19s %12.0f %11.2fx %13.3f%%\n", f * 100,
-                  ModeName(m), r.Throughput(),
-                  si_throughput > 0 ? r.Throughput() / si_throughput : 1.0,
-                  r.FailureRate() * 100);
+
+  std::filesystem::create_directories(kScratchRoot);
+
+  // --- Series A: what durability costs, and what group commit buys ----
+  const WalVariant kVariants[] = {
+      {"wal=off", false, WalFsyncMode::kOff, 0},
+      {"wal=batch", true, WalFsyncMode::kBatch, 64},
+      {"wal=always", true, WalFsyncMode::kAlways, 1},
+  };
+  std::printf("# A: durability A/B (ro-frac 0.2, threads=%d, %gs/point)\n",
+              threads, secs);
+  std::printf("%-22s %12s %14s %12s\n", "series", "txn/s", "failure-rate",
+              "fsync/txn");
+  for (Mode m : {Mode::kSI, Mode::kSSI}) {
+    for (const WalVariant& w : kVariants) {
+      const std::string series = std::string(ModeName(m)) + "/" + w.name;
+      PointResult p =
+          RunPoint(m, w, 0.2, threads, io_delay_us, secs, series, &rc);
+      if (rc) return rc;
+      rows_out.push_back(p.row);
+      std::printf("%-22s %12.0f %13.3f%% %12.3f\n", series.c_str(),
+                  p.throughput, p.failure_rate * 100, p.fsyncs_per_txn);
       std::fflush(stdout);
     }
   }
+
+  // --- Series B: group-commit batch-size sweep ------------------------
+  std::printf("\n# B: SSI fsync=batch, wal_fsync_batch sweep\n");
+  std::printf("%-22s %12s %12s\n", "series", "txn/s", "fsync/txn");
+  for (uint32_t batch : {1u, 4u, 16u, 64u, 256u}) {
+    const WalVariant w{"wal=batch", true, WalFsyncMode::kBatch, batch};
+    const std::string series = "SSI/batch=" + std::to_string(batch);
+    PointResult p =
+        RunPoint(Mode::kSSI, w, 0.2, threads, io_delay_us, secs, series, &rc);
+    if (rc) return rc;
+    rows_out.push_back(p.row);
+    std::printf("%-22s %12.0f %12.3f\n", series.c_str(), p.throughput,
+                p.fsyncs_per_txn);
+    std::fflush(stdout);
+  }
+
+  // --- Series C: Figure 5b shape with durability on -------------------
+  std::printf("\n# C: Figure 5b under fsync=batch — normalized throughput "
+              "vs read-only fraction\n");
+  std::printf("%-10s %-20s %12s %12s %14s\n", "ro-frac", "mode", "txn/s",
+              "normalized", "failure-rate");
+  const WalVariant wal_batch{"wal=batch", true, WalFsyncMode::kBatch, 64};
+  for (double f : {0.0, 0.4, 0.8}) {
+    double si_throughput = 0;
+    for (Mode m : {Mode::kSI, Mode::kSSI, Mode::kS2PL}) {
+      const std::string series =
+          std::string(ModeName(m)) + "/wal=batch/ro=" + std::to_string(f);
+      PointResult p =
+          RunPoint(m, wal_batch, f, threads, io_delay_us, secs, series, &rc);
+      if (rc) return rc;
+      if (m == Mode::kSI) si_throughput = p.throughput;
+      rows_out.push_back(p.row);
+      std::printf("%-10.0f%% %-19s %12.0f %11.2fx %13.3f%%\n", f * 100,
+                  ModeName(m), p.throughput,
+                  si_throughput > 0 ? p.throughput / si_throughput : 1.0,
+                  p.failure_rate * 100);
+      std::fflush(stdout);
+    }
+  }
+
   WriteBenchJson("dbt2_disk", rows_out);
+  std::error_code ec;
+  std::filesystem::remove_all(kScratchRoot, ec);
   return 0;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/types.h"
 
@@ -33,6 +34,24 @@ enum class SerializableImpl {
 enum class IndexGapLocking {
   kPage,     // lock B+-tree leaf pages read by scans (shipping, Section 5.2.1)
   kNextKey,  // next-key tuple granularity (stated future work)
+};
+
+// WAL durability barrier on commit (the analogue of PostgreSQL's
+// synchronous_commit / group-commit settings; see wal/wal_writer.h).
+enum class WalFsyncMode : uint32_t {
+  kOff,     // append the commit record, never fsync on commit: an
+            // acknowledged commit survives process death only if the OS
+            // flushed it (synchronous_commit=off). Clean Close still
+            // syncs.
+  kBatch,   // group commit: the fsync leader accumulates up to
+            // wal_fsync_batch commit records (bounded wait, only while
+            // sibling commits are in flight), fsyncs once, and the whole
+            // batch publishes through the completion ring together —
+            // one fsync per published watermark batch.
+  kAlways,  // every commit blocks on an fsync covering its own record
+            // (batch target 1); concurrent commits still coalesce
+            // behind an in-progress fsync, which never weakens the
+            // guarantee — the data was already durable.
 };
 
 struct EngineConfig {
@@ -94,6 +113,23 @@ struct EngineConfig {
 
   // Index-gap (phantom) lock granularity for scans.
   IndexGapLocking index_gap_locking = IndexGapLocking::kPage;
+
+  // ----- durability (wal/) -----
+  // Off by default: the engine stays memory-only unless a WAL directory
+  // is configured, which keeps every non-durability benchmark and test
+  // on the zero-I/O path.
+  bool wal_enabled = false;
+  // Directory holding wal.log; created if absent. Required (non-empty)
+  // when wal_enabled.
+  std::string wal_dir;
+  // Commit-time durability barrier; see WalFsyncMode. The three modes
+  // are a same-binary A/B for bench_dbt2_disk.
+  WalFsyncMode wal_fsync = WalFsyncMode::kBatch;
+  // Group-commit accumulation target: the fsync leader waits (bounded,
+  // and only while other commits are in flight) until this many commit
+  // records are unsynced before paying the fsync. 1 degenerates to
+  // per-commit fsync.
+  uint32_t wal_fsync_batch = 64;
 
   // Per-heap-access stall, used by the disk-bound bench configurations.
   uint64_t simulated_io_delay_us = 0;

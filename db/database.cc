@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <filesystem>
 #include <functional>
 #include <limits>
 
 #include "util/clock.h"
+#include "util/failpoint.h"
+#include "wal/wal_format.h"
 
 namespace pgssi {
 
@@ -18,6 +21,10 @@ constexpr uint32_t kNoSlot = std::numeric_limits<uint32_t>::max();
 const std::string kGapLockKey = std::string("\x01", 1) + "gap";
 // Keep hot version chains short: prune once they exceed this.
 constexpr size_t kPruneChainLength = 8;
+// Group-commit leader dwell while sibling commits are in flight — the
+// hardcoded analogue of PostgreSQL's commit_delay (EngineConfig::
+// wal_fsync_batch plays commit_siblings' batching role).
+constexpr uint32_t kWalGroupWaitUs = 100;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -29,8 +36,94 @@ Database::Database(const DatabaseOptions& opts)
 
 Database::~Database() = default;
 
-std::unique_ptr<Database> Database::Open(const DatabaseOptions& opts) {
-  return std::unique_ptr<Database>(new Database(opts));
+std::unique_ptr<Database> Database::Open(const DatabaseOptions& opts,
+                                         Status* status) {
+  auto db = std::unique_ptr<Database>(new Database(opts));
+  Status s = db->InitWal();
+  if (status) *status = s;
+  if (!s.ok()) return nullptr;
+  return db;
+}
+
+Status Database::InitWal() {
+  const EngineConfig& eng = opts_.engine;
+  if (!eng.wal_enabled) return Status::OK();
+  if (eng.wal_dir.empty()) {
+    return Status::InvalidArgument("wal_enabled requires wal_dir");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(eng.wal_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create wal_dir " + eng.wal_dir + ": " +
+                           ec.message());
+  }
+  const std::string path = eng.wal_dir + "/wal.log";
+  wal::WalScanResult scan;
+  Status s = wal::ScanWal(path, &scan);
+  if (!s.ok()) return s;
+  s = ReplayRecovered(scan);
+  if (!s.ok()) return s;
+  auto writer = std::make_unique<wal::WalWriter>();
+  s = writer->Open(path, scan.valid_bytes);
+  if (!s.ok()) return s;
+  wal_ = std::move(writer);  // only now does CreateTable start logging
+  return Status::OK();
+}
+
+Status Database::ReplayRecovered(const wal::WalScanResult& scan) {
+  // Runs before any Transaction exists, so plain mutation is safe; the
+  // latches below are taken anyway for uniformity (they are all
+  // uncontended).
+  for (const auto& [logged_id, name] : scan.tables) {
+    TableId id;
+    Status s = CreateTable(name, &id);
+    if (!s.ok()) return s;
+    if (id != logged_id) {
+      return Status::Internal("wal recovery: table id mismatch for " + name);
+    }
+  }
+  // Replay in commit-seq order. Only the newest version per chain is
+  // materialized: every post-recovery snapshot starts at max_seq, so no
+  // older version could ever be visible again.
+  for (const auto& [seq, commit] : scan.commits) {
+    for (const wal::CommitEntry& e : commit.entries) {
+      Table* tbl = GetTable(e.table);
+      if (!tbl) {
+        return Status::Internal("wal recovery: commit references table " +
+                                std::to_string(e.table) + " with no create "
+                                "record in the valid prefix");
+      }
+      Version v{e.value, commit.xid, seq, e.deleted};
+      TupleId tid;
+      PageId page;
+      if (tbl->index.Lookup(e.key, &tid, &page)) {
+        std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+        TupleChain& chain = tbl->tuples[tid];
+        chain.versions.clear();
+        chain.versions.push_back(std::move(v));
+      } else {
+        {
+          std::lock_guard<std::mutex> al(tbl->alloc_mu);
+          tid = tbl->tuples.Append();
+        }
+        {
+          std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(tid));
+          TupleChain& chain = tbl->tuples[tid];
+          chain.key = e.key;
+          chain.versions.push_back(std::move(v));
+        }
+        PageId page;
+        if (!tbl->index.Insert(e.key, tid, &page)) {
+          return Status::Internal("wal recovery: duplicate index entry for " +
+                                  e.key);
+        }
+      }
+    }
+  }
+  if (scan.max_seq > 0 || scan.max_xid > 0) {
+    txn_mgr_.BootstrapRecovered(scan.max_xid + 1, scan.max_seq);
+  }
+  return Status::OK();
 }
 
 Status Database::CreateTable(const std::string& name, TableId* id) {
@@ -49,6 +142,16 @@ Status Database::CreateTable(const std::string& name, TableId* id) {
       [this, tid](PageId oldp, PageId newp, const std::vector<uint32_t>& moved) {
         siread_.OnPageSplit(tid, oldp, newp, moved);
       });
+  // Log-and-sync BEFORE registering, still under tables_mu_ (log order
+  // == id order, which recovery's id-match check relies on). A failed
+  // append/sync means the table was never created — no metadata that a
+  // crash could lose. The WAL mutex is a leaf; see the wal_ member doc.
+  if (wal_) {
+    uint64_t end = 0;
+    Status ws = wal_->Append(wal::EncodeCreateTable(tid, name), &end);
+    if (ws.ok()) ws = wal_->Sync(end, /*batch_target=*/1, /*max_wait_us=*/0);
+    if (!ws.ok()) return ws;
+  }
   tables_.push_back(std::move(t));
   table_names_[name] = tid;
   if (id) *id = tid;
@@ -373,7 +476,37 @@ Status Transaction::Commit() {
     }
     db_->txn_mgr_.Abort(xid_);  // deregister only; nothing to stamp
   } else {
-    uint64_t seq = db_->txn_mgr_.Commit(xid_, [this](uint64_t s) {
+    // Durability-before-visibility: the redo payload is built (and the
+    // in-flight counter bumped) before the seq exists; inside the stamp
+    // callback the record is appended and — per wal_fsync — made durable
+    // STRICTLY BEFORE any version carries the seq or the watermark can
+    // publish it. A WAL failure returns false from the stamp: nothing
+    // was stamped, TxnManager publishes the seq as a no-op (the
+    // watermark never sticks), Commit returns 0, and we abort below
+    // while the writes are still invisible to every snapshot.
+    std::string payload;
+    size_t seq_offset = 0;
+    Status wal_status;
+    const bool wal_on = db_->wal_ != nullptr;
+    if (wal_on) {
+      BuildWalCommitPayload(&payload, &seq_offset);
+      db_->wal_commits_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    uint64_t seq = db_->txn_mgr_.Commit(xid_, [&](uint64_t s) -> bool {
+      if (wal_on) {
+        wal::PatchCommitSeq(&payload, seq_offset, s);
+        const EngineConfig& eng = db_->opts_.engine;
+        // Dwell for stragglers only when a sibling commit is in flight
+        // (the commit_delay/commit_siblings analogue); a lone committer
+        // fsyncs immediately.
+        const uint32_t wait =
+            db_->wal_commits_in_flight_.load(std::memory_order_relaxed) > 1
+                ? kWalGroupWaitUs
+                : 0;
+        wal_status = db_->wal_->AppendCommit(payload, s, eng.wal_fsync,
+                                             eng.wal_fsync_batch, wait);
+        if (!wal_status.ok()) return false;
+      }
       for (const WriteRec& w : writes_) {
         Database::Table* tbl = db_->GetTable(w.table);
         std::unique_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
@@ -381,7 +514,27 @@ Status Transaction::Commit() {
           if (v.xid == xid_ && v.commit_seq == 0) v.commit_seq = s;
         }
       }
+      return true;
     });
+    if (wal_on) {
+      db_->wal_commits_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (seq == 0) {
+      // WAL append/fsync failed; the seq was consumed-but-unused and no
+      // version was stamped. Roll back exactly like any pre-publication
+      // abort (SSI edges dissolve conservatively — PreCommit already
+      // marked us commit-pending, and Abort handles that).
+      AbortInternal();
+      return wal_status.ok() ? Status::IOError("wal commit failed")
+                             : wal_status;
+    }
+    // Commit is published (durable + visible) but not yet acknowledged:
+    // the crash-window the torture test drives (recovery MUST replay it
+    // even though no client saw an ack).
+    if (util::FailpointFires("commit_published")) {
+      // kErr is meaningless here — the commit already happened; only
+      // kCrash (handled inside FailpointFires) is interesting.
+    }
     if (sxact_) {
       db_->siread_.MarkCommitted(sxact_, seq);
       sxact_ = nullptr;
@@ -395,6 +548,35 @@ Status Transaction::Commit() {
   }
   finished_ = true;
   return Status::OK();
+}
+
+void Transaction::BuildWalCommitPayload(std::string* payload,
+                                        size_t* seq_offset) {
+  // One WriteRec per (table, tid) is guaranteed — the exclusive row lock
+  // plus own-version overwrite collapse repeated writes — so the chain's
+  // single uncommitted version with our xid IS the final value. Scan
+  // from the back: our version is the newest.
+  wal::CommitRecord rec;
+  rec.xid = xid_;
+  rec.entries.reserve(writes_.size());
+  for (const WriteRec& w : writes_) {
+    Database::Table* tbl = db_->GetTable(w.table);
+    std::shared_lock<std::shared_mutex> sl(tbl->heap_latch.For(w.tid));
+    const Database::TupleChain& chain = tbl->tuples[w.tid];
+    for (int i = static_cast<int>(chain.versions.size()) - 1; i >= 0; --i) {
+      const Database::Version& v = chain.versions[static_cast<size_t>(i)];
+      if (v.xid == xid_ && v.commit_seq == 0) {
+        wal::CommitEntry e;
+        e.table = w.table;
+        e.deleted = v.deleted;
+        e.key = chain.key;
+        e.value = v.value;
+        rec.entries.push_back(std::move(e));
+        break;
+      }
+    }
+  }
+  *payload = wal::EncodeCommit(rec, seq_offset);
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,8 @@
 #include "util/status.h"
 #include "util/striped_latch.h"
 #include "util/types.h"
+#include "wal/wal_recovery.h"
+#include "wal/wal_writer.h"
 
 namespace pgssi {
 
@@ -37,7 +39,18 @@ class Transaction;
 
 class Database {
  public:
-  static std::unique_ptr<Database> Open(const DatabaseOptions& opts = {});
+  /// With EngineConfig::wal_enabled, Open runs crash recovery first:
+  /// scan wal_dir/wal.log up to the first torn/CRC-failing record,
+  /// rebuild tables + tuple chains + index from the committed prefix
+  /// (abort-marked seqs skipped), restart the xid/seq allocators past
+  /// the recovered maximum, truncate the torn tail, and resume
+  /// appending. SIREAD/conflict-graph state is deliberately NOT logged:
+  /// no transaction survives a crash, so per the paper's PostgreSQL
+  /// integration it recovers empty (see README "Durability").
+  /// Returns nullptr (with `*status` set, if given) when the WAL cannot
+  /// be opened or recovered.
+  static std::unique_ptr<Database> Open(const DatabaseOptions& opts = {},
+                                        Status* status = nullptr);
   ~Database();
 
   Status CreateTable(const std::string& name, TableId* id);
@@ -66,6 +79,11 @@ class Database {
   /// regression asserts on these).
   size_t SireadTupleLockCount() const { return siread_.TupleLockCount(); }
   size_t SireadPageLockCount() const { return siread_.PageLockCount(); }
+  /// Commit watermark (recovery restarts it past the recovered log).
+  uint64_t LastCommittedSeq() const { return txn_mgr_.LastCommittedSeq(); }
+  /// fsyncs issued by the WAL writer (0 when WAL is disabled) — the
+  /// bench's fsyncs-per-commit metric and the group-commit regressions.
+  uint64_t WalFsyncCount() const { return wal_ ? wal_->fsync_count() : 0; }
 
  private:
   friend class Transaction;
@@ -155,6 +173,14 @@ class Database {
   Table* GetTable(TableId id) const;
   void RunSireadCleanup();
 
+  // ----- durability (wal/) -----
+  // Scan + replay + writer reopen; called once from Open, before any
+  // transaction exists (replay therefore mutates tables without
+  // latches). wal_ stays null when wal_enabled is off OR until replay
+  // succeeds, so recovery-time CreateTable never re-logs records.
+  Status InitWal();
+  Status ReplayRecovered(const wal::WalScanResult& scan);
+
   // Deferred aborted-insert index GC (index_olc=1): rollback of a
   // created chain only empties it and enqueues a record here; the erase
   // (+ coverage transfer + chain recycle) happens in DrainIndexGc, off
@@ -173,6 +199,18 @@ class Database {
   txn::TxnManager txn_mgr_;
   ssi::SireadLockManager siread_;
   LockTable row_locks_;
+  // Null unless wal_enabled and recovery succeeded. The writer's own
+  // mutex is a LEAF in the lock order: Transaction::Commit appends while
+  // holding no engine lock (the redo payload is built, and versions are
+  // stamped, under heap stripes released in between); CreateTable is
+  // the one caller that appends under another lock (tables_mu_, to keep
+  // log order == id order), and nothing ever takes tables_mu_ while
+  // holding the WAL mutex.
+  std::unique_ptr<wal::WalWriter> wal_;
+  // Commits currently inside the write path; the group-commit leader
+  // only dwells for stragglers when this exceeds 1 (the commit_delay /
+  // commit_siblings analogue).
+  std::atomic<uint32_t> wal_commits_in_flight_{0};
 
   mutable std::shared_mutex tables_mu_;
   std::vector<std::unique_ptr<Table>> tables_;
@@ -229,6 +267,10 @@ class Transaction {
 
   Status CheckActive();
   void AbortInternal();
+  // Serializes this transaction's write set into a kCommit payload (seq
+  // left as a placeholder; *seq_offset feeds wal::PatchCommitSeq inside
+  // the stamp callback, where the seq finally exists).
+  void BuildWalCommitPayload(std::string* payload, size_t* seq_offset);
   // Shared read/SSI-tracking core for Get/Scan/Count.
   Status ScanInternal(
       TableId table, const std::string& lo, const std::string& hi,

@@ -32,7 +32,10 @@ TEST(TxnManagerTest, CommitPublishesBeforeReturning) {
   TxnManager m;
   auto a = m.Begin(true);
   uint64_t stamped = 0;
-  uint64_t seq = m.Commit(a.xid, [&](uint64_t s) { stamped = s; });
+  uint64_t seq = m.Commit(a.xid, [&](uint64_t s) {
+    stamped = s;
+    return true;
+  });
   EXPECT_EQ(stamped, seq);
   EXPECT_EQ(m.LastCommittedSeq(), seq);
   auto b = m.Begin(false);  // a later snapshot sees the published seq
@@ -58,6 +61,7 @@ TEST(TxnManagerTest, CommitBlocksUntilOwnSeqIsPublished) {
     m.Commit(p.xid, [&](uint64_t) {
       p_in_stamp.store(true);
       while (!release.load()) std::this_thread::yield();
+      return true;
     });
   });
   while (!p_in_stamp.load()) std::this_thread::yield();
@@ -78,6 +82,30 @@ TEST(TxnManagerTest, CommitBlocksUntilOwnSeqIsPublished) {
   EXPECT_TRUE(w_done.load());
   EXPECT_EQ(m.LastCommittedSeq(), 2u);  // the gap-closer published both
   EXPECT_FALSE(m.AnyActiveSerializableRW());
+}
+
+// Regression (PR 6, WAL failure ordering): a stamp that FAILS (WAL
+// append/fsync error) must return 0, publish its consumed seq as a
+// no-op — the watermark moves past it instead of sticking forever —
+// and leave the manager fully usable for the next commit.
+TEST(TxnManagerTest, FailedStampPublishesSeqAndReturnsZero) {
+  TxnManager m;
+  auto a = m.Begin(true);
+  EXPECT_EQ(m.Commit(a.xid, [](uint64_t) { return false; }), 0u);
+  // The seq was consumed-but-unused; the watermark covers it.
+  EXPECT_EQ(m.LastCommittedSeq(), 1u);
+  EXPECT_FALSE(m.AnyActiveSerializableRW());  // deregistered all the same
+
+  // A successor blocked behind the failed seq is released normally.
+  auto b = m.Begin(false);
+  uint64_t stamped = 0;
+  uint64_t seq = m.Commit(b.xid, [&](uint64_t s) {
+    stamped = s;
+    return true;
+  });
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(stamped, 2u);
+  EXPECT_EQ(m.LastCommittedSeq(), 2u);
 }
 
 TEST(TxnManagerTest, OldestActiveSnapshotAndWaitForFinish) {

@@ -1,0 +1,444 @@
+// WAL durability unit + integration tests:
+//  - codec round-trips and deterministic corruption handling (a flipped
+//    byte or torn tail stops the scan at the last good record);
+//  - a byte-granular truncation sweep over a real engine-produced log
+//    (every prefix must recover cleanly to a record boundary);
+//  - full crash-recovery round trips through Database::Open, including
+//    idempotent re-recovery and allocator restart;
+//  - the Commit failure-ordering regression: an injected fsync failure
+//    dooms exactly that transaction BEFORE its seq becomes visible, the
+//    engine keeps committing afterwards, and recovery agrees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "db/transaction_handle.h"
+#include "util/failpoint.h"
+#include "wal/wal_format.h"
+#include "wal/wal_recovery.h"
+#include "wal/wal_writer.h"
+
+namespace pgssi {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch dir per test, wiped up front so reruns start clean.
+std::string ScratchDir(const std::string& name) {
+  fs::path d = fs::path(testing::TempDir()) / ("pgssi_wal_" + name);
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d.string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+DatabaseOptions WalOpts(const std::string& dir,
+                        WalFsyncMode mode = WalFsyncMode::kBatch) {
+  DatabaseOptions opts;
+  opts.engine.wal_enabled = true;
+  opts.engine.wal_dir = dir;
+  opts.engine.wal_fsync = mode;
+  return opts;
+}
+
+TEST(WalFormatTest, CodecRoundTrip) {
+  wal::CommitRecord rec;
+  rec.xid = 42;
+  rec.entries.push_back({1, false, "alice", "100"});
+  rec.entries.push_back({2, true, "bob", ""});
+  size_t seq_offset = 0;
+  std::string payload = wal::EncodeCommit(rec, &seq_offset);
+  wal::PatchCommitSeq(&payload, seq_offset, 7);
+
+  wal::DecodedRecord out;
+  ASSERT_TRUE(wal::DecodePayload(payload, &out));
+  EXPECT_EQ(out.type, wal::RecordType::kCommit);
+  EXPECT_EQ(out.commit.seq, 7u);
+  EXPECT_EQ(out.commit.xid, 42u);
+  ASSERT_EQ(out.commit.entries.size(), 2u);
+  EXPECT_EQ(out.commit.entries[0].table, 1u);
+  EXPECT_FALSE(out.commit.entries[0].deleted);
+  EXPECT_EQ(out.commit.entries[0].key, "alice");
+  EXPECT_EQ(out.commit.entries[0].value, "100");
+  EXPECT_TRUE(out.commit.entries[1].deleted);
+
+  ASSERT_TRUE(wal::DecodePayload(wal::EncodeCreateTable(3, "accounts"), &out));
+  EXPECT_EQ(out.type, wal::RecordType::kCreateTable);
+  EXPECT_EQ(out.table_id, 3u);
+  EXPECT_EQ(out.table_name, "accounts");
+
+  ASSERT_TRUE(wal::DecodePayload(wal::EncodeAbortMark(9), &out));
+  EXPECT_EQ(out.type, wal::RecordType::kAbortMark);
+  EXPECT_EQ(out.abort_seq, 9u);
+
+  // Truncated payloads and junk types must fail, not crash.
+  EXPECT_FALSE(wal::DecodePayload(payload.substr(0, payload.size() - 1), &out));
+  EXPECT_FALSE(wal::DecodePayload(std::string("\x09junk", 5), &out));
+  EXPECT_FALSE(wal::DecodePayload(std::string_view(), &out));
+}
+
+TEST(WalRecoveryTest, CorruptionStopsScanAtLastGoodRecord) {
+  const std::string dir = ScratchDir("corrupt");
+  const std::string path = dir + "/wal.log";
+
+  std::string log;
+  log += wal::EncodeFrame(wal::EncodeCreateTable(1, "t"));
+  wal::CommitRecord c1;
+  c1.seq = 1;
+  c1.xid = 10;
+  c1.entries.push_back({1, false, "k1", "v1"});
+  log += wal::EncodeFrame(wal::EncodeCommit(c1, nullptr));
+  const size_t two_records = log.size();
+  wal::CommitRecord c2;
+  c2.seq = 2;
+  c2.xid = 11;
+  c2.entries.push_back({1, false, "k2", "v2"});
+  log += wal::EncodeFrame(wal::EncodeCommit(c2, nullptr));
+
+  // Pristine: everything scans.
+  WriteAll(path, log);
+  wal::WalScanResult scan;
+  ASSERT_TRUE(wal::ScanWal(path, &scan).ok());
+  EXPECT_EQ(scan.records, 3u);
+  EXPECT_EQ(scan.commits.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, log.size());
+  EXPECT_EQ(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.max_seq, 2u);
+  EXPECT_EQ(scan.max_xid, 11u);
+
+  // Flip one payload byte inside the third record: CRC fails, the scan
+  // stops exactly after the second.
+  std::string bad = log;
+  bad[two_records + wal::kFrameHeaderBytes + 3] ^= 0x40;
+  WriteAll(path, bad);
+  ASSERT_TRUE(wal::ScanWal(path, &scan).ok());
+  EXPECT_EQ(scan.records, 2u);
+  ASSERT_EQ(scan.commits.size(), 1u);
+  EXPECT_EQ(scan.commits.begin()->second.entries[0].key, "k1");
+  EXPECT_EQ(scan.valid_bytes, two_records);
+  EXPECT_EQ(scan.torn_bytes, log.size() - two_records);
+  // max_seq only reflects what survived.
+  EXPECT_EQ(scan.max_seq, 1u);
+
+  // An abort mark erases its commit from the replay set.
+  std::string marked = log + wal::EncodeFrame(wal::EncodeAbortMark(2));
+  WriteAll(path, marked);
+  ASSERT_TRUE(wal::ScanWal(path, &scan).ok());
+  EXPECT_EQ(scan.commits.size(), 1u);
+  EXPECT_EQ(scan.commits.count(2), 0u);
+  EXPECT_EQ(scan.max_seq, 2u);  // the seq stays consumed
+
+  // Missing file: clean empty result.
+  ASSERT_TRUE(wal::ScanWal(dir + "/nope.log", &scan).ok());
+  EXPECT_EQ(scan.records, 0u);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+// Every byte-truncation of the log must recover to a record boundary:
+// the valid prefix is the longest whole-frame prefix, never more.
+TEST(WalRecoveryTest, TruncationSweepRecoversLongestWholePrefix) {
+  const std::string dir = ScratchDir("truncate");
+  const std::string path = dir + "/wal.log";
+
+  // Produce a real log through the engine.
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir, WalFsyncMode::kAlways), &st);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    TableId t;
+    ASSERT_TRUE(db->CreateTable("t", &t).ok());
+    for (int i = 0; i < 4; i++) {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(t, "k" + std::to_string(i), "v").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+  }
+  const std::string log = ReadAll(path);
+  ASSERT_GT(log.size(), wal::kFrameHeaderBytes);
+
+  // Record boundaries from a full scan.
+  std::vector<size_t> boundaries{0};
+  {
+    wal::WalScanResult scan;
+    ASSERT_TRUE(wal::ScanWal(path, &scan).ok());
+    ASSERT_EQ(scan.records, 5u);  // 1 create + 4 commits
+    size_t off = 0;
+    std::string_view v(log);
+    while (off < log.size()) {
+      uint32_t len = 0;
+      wal::PayloadReader r(v.substr(off, 4));
+      ASSERT_TRUE(r.U32(&len));
+      off += wal::kFrameHeaderBytes + len;
+      boundaries.push_back(off);
+    }
+    ASSERT_EQ(off, log.size());
+  }
+
+  const std::string tpath = dir + "/wal_trunc.log";
+  for (size_t cut = 0; cut <= log.size(); cut++) {
+    WriteAll(tpath, log.substr(0, cut));
+    wal::WalScanResult scan;
+    ASSERT_TRUE(wal::ScanWal(tpath, &scan).ok());
+    // valid_bytes is the largest boundary <= cut.
+    size_t expect = 0;
+    for (size_t b : boundaries) {
+      if (b <= cut) expect = b;
+    }
+    EXPECT_EQ(scan.valid_bytes, expect) << "cut=" << cut;
+    EXPECT_EQ(scan.torn_bytes, cut - expect) << "cut=" << cut;
+  }
+
+  // Spot-check full engine recovery from a mid-record truncation: the
+  // last commit is torn away, the rest replays.
+  ASSERT_GE(boundaries.size(), 3u);
+  const size_t mid_last = boundaries[boundaries.size() - 2] + 3;
+  WriteAll(path, log.substr(0, mid_last));
+  Status st;
+  auto db = Database::Open(WalOpts(dir), &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const TableId t = db->GetTableId("t");
+  ASSERT_NE(t, kInvalidTable);
+  auto txn = db->Begin();
+  std::string v;
+  EXPECT_TRUE(txn->Get(t, "k0", &v).ok());
+  EXPECT_TRUE(txn->Get(t, "k2", &v).ok());
+  EXPECT_EQ(txn->Get(t, "k3", &v).code(), Code::kNotFound);
+  ASSERT_TRUE(txn->Commit().ok());
+  // The writer truncated the torn tail on open.
+  EXPECT_EQ(fs::file_size(path) >= boundaries[boundaries.size() - 2], true);
+}
+
+TEST(WalRecoveryTest, FullRecoveryRoundTrip) {
+  const std::string dir = ScratchDir("roundtrip");
+  uint64_t pre_crash_seq = 0;
+
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir), &st);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    TableId a, b;
+    ASSERT_TRUE(db->CreateTable("accounts", &a).ok());
+    ASSERT_TRUE(db->CreateTable("audit", &b).ok());
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(a, "alice", "100").ok());
+      ASSERT_TRUE(txn->Put(b, "log1", "opened").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(a, "alice", "80").ok());  // overwrite
+      ASSERT_TRUE(txn->Put(a, "bob", "20").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Delete(b, "log1").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    {
+      // An aborted transaction leaves no trace in the replayable log.
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(a, "carol", "999").ok());
+      ASSERT_TRUE(txn->Abort().ok());
+    }
+    pre_crash_seq = db->LastCommittedSeq();
+    // Destructor closes the WAL; kBatch mode may leave the tail
+    // unsynced, but the file itself survives (we only simulate crashes
+    // via failpoints — see the torture test for real kills).
+  }
+
+  for (int round = 0; round < 2; round++) {  // recovery is idempotent
+    Status st;
+    auto db = Database::Open(WalOpts(dir), &st);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    const TableId a = db->GetTableId("accounts");
+    const TableId b = db->GetTableId("audit");
+    ASSERT_NE(a, kInvalidTable);
+    ASSERT_NE(b, kInvalidTable);
+
+    auto txn = db->Begin();
+    std::string v;
+    ASSERT_TRUE(txn->Get(a, "alice", &v).ok());
+    EXPECT_EQ(v, "80");
+    ASSERT_TRUE(txn->Get(a, "bob", &v).ok());
+    EXPECT_EQ(v, "20");
+    EXPECT_EQ(txn->Get(a, "carol", &v).code(), Code::kNotFound);
+    EXPECT_EQ(txn->Get(b, "log1", &v).code(), Code::kNotFound);
+    ASSERT_TRUE(txn->Commit().ok());
+
+    // Allocators restarted past the recovered log: the first new commit
+    // gets a seq strictly above everything pre-crash.
+    EXPECT_GE(db->LastCommittedSeq(), pre_crash_seq);
+    auto txn2 = db->Begin();
+    ASSERT_TRUE(txn2->Put(a, "dave", "1").ok());
+    ASSERT_TRUE(txn2->Commit().ok());
+    EXPECT_GT(db->LastCommittedSeq(), pre_crash_seq);
+    auto txn3 = db->Begin();
+    ASSERT_TRUE(txn3->Get(a, "dave", &v).ok());
+    ASSERT_TRUE(txn3->Delete(a, "dave").ok());
+    ASSERT_TRUE(txn3->Commit().ok());
+    EXPECT_TRUE(db->CheckSsiLockConsistency());
+  }
+}
+
+TEST(WalRecoveryTest, CreateTableIsDurableAndIdsStable) {
+  const std::string dir = ScratchDir("ddl");
+  TableId id1 = kInvalidTable, id2 = kInvalidTable;
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir), &st);
+    ASSERT_TRUE(st.ok());
+    ASSERT_TRUE(db->CreateTable("first", &id1).ok());
+    ASSERT_TRUE(db->CreateTable("second", &id2).ok());
+    // DDL is synced eagerly — durable even with zero commits and no
+    // clean close.
+  }
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir), &st);
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(db->GetTableId("first"), id1);
+    EXPECT_EQ(db->GetTableId("second"), id2);
+    // New DDL after recovery continues the id sequence.
+    TableId id3;
+    ASSERT_TRUE(db->CreateTable("third", &id3).ok());
+    EXPECT_EQ(id3, id2 + 1);
+  }
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir), &st);
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(db->GetTableId("third"), id2 + 1);
+  }
+}
+
+TEST(WalRecoveryTest, OpenFailsCleanlyOnBadConfig) {
+  DatabaseOptions opts;
+  opts.engine.wal_enabled = true;  // no wal_dir
+  Status st;
+  auto db = Database::Open(opts, &st);
+  EXPECT_EQ(db, nullptr);
+  EXPECT_EQ(st.code(), Code::kInvalidArgument);
+}
+
+// Satellite 2 regression: an injected fsync failure must doom exactly
+// that transaction BEFORE its seq is published — clean rollback, no
+// stuck watermark, engine keeps committing — and recovery must agree
+// (the abort mark keeps the logged-but-failed commit out of replay).
+TEST(WalRecoveryTest, FsyncFailureAbortsCleanly) {
+  const std::string dir = ScratchDir("fsyncfail");
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir, WalFsyncMode::kAlways), &st);
+    ASSERT_TRUE(st.ok());
+    TableId t;
+    ASSERT_TRUE(db->CreateTable("t", &t).ok());
+
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(t, "k1", "v1").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    const uint64_t seq_before = db->LastCommittedSeq();
+
+    // Next commit-path fsync fails (the abort mark's own sync, armed
+    // for the hit after, succeeds — a transient error).
+    util::FailpointArm("wal_fsync", util::FailpointAction::kErr, 1);
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(t, "k2", "v2").ok());
+      Status cs = txn->Commit();
+      ASSERT_FALSE(cs.ok());
+      EXPECT_EQ(cs.code(), Code::kIOError);
+      EXPECT_TRUE(txn->finished());
+    }
+    util::FailpointClearAll();
+
+    // The seq was consumed-but-unused: the watermark moved past it (no
+    // stuck slot) yet no snapshot ever sees k2.
+    EXPECT_GE(db->LastCommittedSeq(), seq_before + 1);
+    {
+      auto txn = db->Begin();
+      std::string v;
+      EXPECT_EQ(txn->Get(t, "k2", &v).code(), Code::kNotFound);
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    // Engine keeps committing after the transient error.
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(t, "k3", "v3").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    EXPECT_TRUE(db->CheckSsiLockConsistency());
+  }
+
+  // Recovery sees k1 and k3; k2's commit record is abort-marked.
+  Status st;
+  auto db = Database::Open(WalOpts(dir), &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const TableId t = db->GetTableId("t");
+  auto txn = db->Begin();
+  std::string v;
+  ASSERT_TRUE(txn->Get(t, "k1", &v).ok());
+  EXPECT_EQ(v, "v1");
+  EXPECT_EQ(txn->Get(t, "k2", &v).code(), Code::kNotFound);
+  ASSERT_TRUE(txn->Get(t, "k3", &v).ok());
+  EXPECT_EQ(v, "v3");
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+// SERIALIZABLE flavor of the same regression: the WAL failure lands
+// after PreCommit marked the xact commit-pending; Abort must still
+// dissolve its SSI state cleanly.
+TEST(WalRecoveryTest, FsyncFailureAbortsSerializableCleanly) {
+  const std::string dir = ScratchDir("fsyncfail_ssi");
+  Status st;
+  auto db = Database::Open(WalOpts(dir, WalFsyncMode::kAlways), &st);
+  ASSERT_TRUE(st.ok());
+  TableId t;
+  ASSERT_TRUE(db->CreateTable("t", &t).ok());
+
+  util::FailpointArm("wal_fsync", util::FailpointAction::kErr, 2);  // skip DDL..
+  {
+    auto txn = db->Begin({IsolationLevel::kSerializable});
+    ASSERT_TRUE(txn->Put(t, "k", "v").ok());
+    ASSERT_TRUE(txn->Commit().ok());  // fsync #1 on the commit path: fine
+  }
+  {
+    auto txn = db->Begin({IsolationLevel::kSerializable});
+    std::string v;
+    ASSERT_TRUE(txn->Get(t, "k", &v).ok());
+    ASSERT_TRUE(txn->Put(t, "k", "v2").ok());
+    Status cs = txn->Commit();  // fsync #2 injected to fail
+    ASSERT_FALSE(cs.ok());
+    EXPECT_EQ(cs.code(), Code::kIOError);
+  }
+  util::FailpointClearAll();
+  EXPECT_TRUE(db->CheckSsiLockConsistency());
+  {
+    auto txn = db->Begin({IsolationLevel::kSerializable});
+    std::string v;
+    ASSERT_TRUE(txn->Get(t, "k", &v).ok());
+    EXPECT_EQ(v, "v");
+    ASSERT_TRUE(txn->Put(t, "k", "v3").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+}
+
+}  // namespace
+}  // namespace pgssi

@@ -58,14 +58,24 @@ void TxnManager::RecomputeMinLocked(Shard& sh) {
   sh.min_snapshot.store(m);
 }
 
+void TxnManager::BootstrapRecovered(XactId next_xid, uint64_t last_seq) {
+  next_xid_.store(std::max<XactId>(next_xid, 1), std::memory_order_relaxed);
+  next_commit_seq_.store(last_seq, std::memory_order_relaxed);
+  last_committed_seq_.store(last_seq, std::memory_order_release);
+  // The ring is zero-initialized, so the publication loop's
+  // ring[s] == s test cannot spuriously match a pre-crash slot.
+}
+
 uint64_t TxnManager::Commit(XactId xid,
-                            const std::function<void(uint64_t)>& stamp) {
+                            const std::function<bool(uint64_t)>& stamp) {
   const uint64_t seq =
       next_commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   // Stamp first, publish second: a version carrying `seq` is invisible
   // to every snapshot until the watermark reaches seq, and the watermark
-  // only advances over fully stamped sequences.
-  if (stamp) stamp(seq);
+  // only advances over fully stamped sequences. A FAILED stamp (WAL
+  // error) stamped nothing — the seq is still published below so the
+  // watermark never sticks, it just covers no versions.
+  const bool stamped_ok = !stamp || stamp(seq);
 
   // Ring-slot guard: the slot is shared with seq - kCommitRing, which
   // must have been published (watermark passed it) before reuse. Only
@@ -111,7 +121,7 @@ uint64_t TxnManager::Commit(XactId xid,
   }
 
   Deregister(xid);
-  return seq;
+  return stamped_ok ? seq : 0;
 }
 
 void TxnManager::Deregister(XactId xid) {

@@ -53,10 +53,21 @@ class TxnManager {
   BeginResult Begin(bool serializable_rw);
 
   /// Commits `xid`: runs `stamp` with the pre-allocated next commit
-  /// sequence number (which writes commit_seq into the transaction's
-  /// versions), then publishes the sequence through the completion ring
-  /// and wakes waiters. Returns the assigned sequence.
-  uint64_t Commit(XactId xid, const std::function<void(uint64_t)>& stamp);
+  /// sequence number (which appends the WAL record and writes commit_seq
+  /// into the transaction's versions), then publishes the sequence
+  /// through the completion ring and wakes waiters. Returns the assigned
+  /// sequence.
+  ///
+  /// `stamp` may FAIL (return false) — e.g. a WAL append or fsync error
+  /// — in which case nothing was stamped and Commit returns 0: the
+  /// caller must treat the transaction as aborted. The consumed sequence
+  /// is still published through the ring as a no-op (no version carries
+  /// it), because leaving its slot open would stall the watermark — and
+  /// with it every later commit — forever. Failure ordering matters:
+  /// stamp runs strictly BEFORE publication, so a transaction whose
+  /// durability barrier failed is doomed while its writes are still
+  /// invisible to every snapshot.
+  uint64_t Commit(XactId xid, const std::function<bool(uint64_t)>& stamp);
 
   void Abort(XactId xid);
 
@@ -88,6 +99,13 @@ class TxnManager {
   uint64_t next_xid() const {
     return next_xid_.load(std::memory_order_relaxed);
   }
+
+  /// Crash recovery: restart the allocators past everything the WAL ever
+  /// recorded. `last_seq` becomes the published watermark (every
+  /// recovered version is stamped with a seq <= it) and the next commit
+  /// gets last_seq + 1; xids resume at `next_xid`. Must be called before
+  /// any Begin — the registry is assumed empty.
+  void BootstrapRecovered(XactId next_xid, uint64_t last_seq);
 
  private:
   struct ActiveTxn {

@@ -1,0 +1,41 @@
+// Software CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320), used to
+// frame WAL records. Table-driven, byte at a time — recovery-path speed
+// is dominated by replay, not checksumming, so no slicing tricks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pgssi::util {
+
+namespace detail {
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `n` bytes at `data`; chainable via `seed` (pass the previous
+/// result to continue a running checksum).
+inline uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0) {
+  const auto& table = detail::Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; i++) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace pgssi::util

@@ -1,0 +1,165 @@
+// Test-only failpoints, injected at the WAL's append/fsync/ack decision
+// points so crash-recovery tests can force a failure (or kill the
+// process) at exactly the boundary under test.
+//
+// A failpoint is named ("wal_fsync", "wal_append_partial", ...) and
+// armed with an action:
+//   kErr   — the site reports an injected I/O failure and continues;
+//   kCrash — the site calls _Exit(kFailpointCrashExit) on the spot,
+//            skipping every destructor and atexit handler — the
+//            in-process equivalent of `kill -9` at that instruction.
+// Arming takes a 1-based trigger count: the action fires on exactly the
+// Nth evaluation of that site, once, then the point disarms itself (so
+// "crash on the 7th WAL append" is one Arm call in the forked child).
+//
+// The production fast path is one relaxed atomic load (armed-point
+// count, zero in any non-test process); the slow path takes a mutex.
+// Failpoints are process-global — tests that fork arm them in the
+// child, after the fork, so the parent never crashes.
+//
+// PGSSI_FAILPOINTS="name=crash@7,other=err" arms points from the
+// environment via FailpointArmFromEnv() for command-line experiments;
+// nothing calls it implicitly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace pgssi::util {
+
+enum class FailpointAction { kNone, kErr, kCrash };
+
+/// Exit status of a kCrash failpoint; torture tests assert on it to
+/// distinguish an injected kill from an ordinary child failure.
+inline constexpr int kFailpointCrashExit = 57;
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance() {
+    static FailpointRegistry* r = new FailpointRegistry();  // never freed
+    return *r;
+  }
+
+  /// Arms `name`: `action` fires on the `trigger_at`-th Eval (1-based),
+  /// once, then the point disarms.
+  void Arm(const std::string& name, FailpointAction action,
+           uint64_t trigger_at = 1) {
+    std::lock_guard<std::mutex> l(mu_);
+    points_[name] = State{action, trigger_at == 0 ? 1 : trigger_at, 0};
+    RecountLocked();
+  }
+
+  void Clear(const std::string& name) {
+    std::lock_guard<std::mutex> l(mu_);
+    points_.erase(name);
+    RecountLocked();
+  }
+
+  void ClearAll() {
+    std::lock_guard<std::mutex> l(mu_);
+    points_.clear();
+    RecountLocked();
+  }
+
+  FailpointAction Eval(const char* name) {
+    if (armed_.load(std::memory_order_acquire) == 0) {
+      return FailpointAction::kNone;
+    }
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end() || it->second.action == FailpointAction::kNone) {
+      return FailpointAction::kNone;
+    }
+    State& s = it->second;
+    if (++s.hits != s.trigger_at) return FailpointAction::kNone;
+    const FailpointAction a = s.action;
+    s.action = FailpointAction::kNone;  // fire once
+    RecountLocked();
+    return a;
+  }
+
+ private:
+  struct State {
+    FailpointAction action = FailpointAction::kNone;
+    uint64_t trigger_at = 1;
+    uint64_t hits = 0;
+  };
+  void RecountLocked() {
+    uint32_t n = 0;
+    for (const auto& [k, s] : points_) {
+      if (s.action != FailpointAction::kNone) n++;
+    }
+    armed_.store(n, std::memory_order_release);
+  }
+  std::mutex mu_;
+  std::unordered_map<std::string, State> points_;
+  std::atomic<uint32_t> armed_{0};
+};
+
+inline void FailpointArm(const std::string& name, FailpointAction action,
+                         uint64_t trigger_at = 1) {
+  FailpointRegistry::Instance().Arm(name, action, trigger_at);
+}
+inline void FailpointClear(const std::string& name) {
+  FailpointRegistry::Instance().Clear(name);
+}
+inline void FailpointClearAll() { FailpointRegistry::Instance().ClearAll(); }
+
+/// Raw evaluation: hands the action back to the site. Use this only
+/// where the site must do work BEFORE dying (e.g. write half a frame,
+/// then crash — the torn-record case); everywhere else use
+/// FailpointFires.
+inline FailpointAction FailpointEval(const char* name) {
+  return FailpointRegistry::Instance().Eval(name);
+}
+
+/// Standard site wrapper: returns true when an injected error should be
+/// reported; a kCrash action never returns.
+inline bool FailpointFires(const char* name) {
+  switch (FailpointEval(name)) {
+    case FailpointAction::kErr:
+      return true;
+    case FailpointAction::kCrash:
+      std::_Exit(kFailpointCrashExit);
+    case FailpointAction::kNone:
+      break;
+  }
+  return false;
+}
+
+/// Parses PGSSI_FAILPOINTS ("name=err,other=crash@12") and arms each
+/// entry. Unset/empty env is a no-op (programmatically armed points are
+/// left alone).
+inline void FailpointArmFromEnv() {
+  const char* env = std::getenv("PGSSI_FAILPOINTS");
+  if (!env || !*env) return;
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string name = item.substr(0, eq);
+    std::string act = item.substr(eq + 1);
+    uint64_t at = 1;
+    const size_t amp = act.find('@');
+    if (amp != std::string::npos) {
+      at = std::strtoull(act.c_str() + amp + 1, nullptr, 10);
+      act = act.substr(0, amp);
+    }
+    if (act == "err") {
+      FailpointArm(name, FailpointAction::kErr, at);
+    } else if (act == "crash") {
+      FailpointArm(name, FailpointAction::kCrash, at);
+    }
+  }
+}
+
+}  // namespace pgssi::util

@@ -17,6 +17,7 @@ enum class Code {
   kInvalidArgument,
   kSerializationFailure,
   kBusy,
+  kIOError,
   kInternal,
 };
 
@@ -39,6 +40,12 @@ class Status {
     return Status(Code::kSerializationFailure, std::move(m));
   }
   static Status Busy(std::string m) { return Status(Code::kBusy, std::move(m)); }
+  /// WAL append/fsync failures: the transaction was aborted (nothing it
+  /// wrote is visible or durable); unlike 40001 the client should not
+  /// blindly retry without checking the storage layer.
+  static Status IOError(std::string m) {
+    return Status(Code::kIOError, std::move(m));
+  }
   static Status Internal(std::string m) {
     return Status(Code::kInternal, std::move(m));
   }
@@ -64,6 +71,8 @@ class Status {
         return "SerializationFailure: " + msg_;
       case Code::kBusy:
         return "Busy: " + msg_;
+      case Code::kIOError:
+        return "IOError: " + msg_;
       case Code::kInternal:
         return "Internal: " + msg_;
     }

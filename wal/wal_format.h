@@ -1,0 +1,232 @@
+// WAL record codec: little-endian payload encoding plus length+CRC32
+// framing.
+//
+// On-disk layout is a flat sequence of frames:
+//
+//   frame   := [len u32][crc u32][payload bytes × len]
+//   payload := [type u8] body
+//
+// `crc` is CRC-32 (util/crc32.h) over the payload only; `len` is
+// validated against kMaxRecordLen and the remaining file size, so a
+// torn tail — a partial frame from a crash mid-append — fails either
+// the length or the CRC check and recovery stops exactly there.
+//
+// Record types:
+//   kCreateTable  [id u32][name str]           — DDL, synced eagerly
+//   kCommit       [seq u64][xid u64][n u32]    — one committed write set
+//                 n × ([table u32][deleted u8][key str][value str])
+//   kAbortMark    [seq u64]                    — the commit record for
+//                 `seq` is already in the log but its fsync failed and
+//                 the transaction was aborted; recovery must skip it.
+//
+// str := [len u32][bytes]. The commit payload is built before the
+// commit sequence is allocated (the seq arrives inside the TxnManager
+// stamp callback), so EncodeCommit writes a placeholder and returns its
+// offset for PatchCommitSeq.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/types.h"
+
+namespace pgssi::wal {
+
+inline constexpr uint32_t kFrameHeaderBytes = 8;  // len + crc
+inline constexpr uint32_t kMaxRecordLen = 1u << 30;
+
+enum class RecordType : uint8_t {
+  kCreateTable = 1,
+  kCommit = 2,
+  kAbortMark = 3,
+};
+
+struct CommitEntry {
+  TableId table = kInvalidTable;
+  bool deleted = false;
+  std::string key;
+  std::string value;
+};
+
+struct CommitRecord {
+  uint64_t seq = 0;
+  XactId xid = kInvalidXact;
+  std::vector<CommitEntry> entries;
+};
+
+// ----- little-endian primitives -----
+
+inline void PutU8(std::string* s, uint8_t v) {
+  s->push_back(static_cast<char>(v));
+}
+inline void PutU32(std::string* s, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; i++) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  s->append(b, 4);
+}
+inline void PutU64(std::string* s, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; i++) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  s->append(b, 8);
+}
+inline void PutStr(std::string* s, std::string_view v) {
+  PutU32(s, static_cast<uint32_t>(v.size()));
+  s->append(v.data(), v.size());
+}
+
+/// Bounds-checked sequential reader; every getter returns false once any
+/// read has run past the end (the caller treats that as corruption).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : p_(data) {}
+  bool U8(uint8_t* v) {
+    if (p_.size() - off_ < 1) return false;
+    *v = static_cast<uint8_t>(p_[off_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (p_.size() - off_ < 4) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; i++) {
+      r |= static_cast<uint32_t>(static_cast<uint8_t>(p_[off_ + i])) << (8 * i);
+    }
+    off_ += 4;
+    *v = r;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (p_.size() - off_ < 8) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; i++) {
+      r |= static_cast<uint64_t>(static_cast<uint8_t>(p_[off_ + i])) << (8 * i);
+    }
+    off_ += 8;
+    *v = r;
+    return true;
+  }
+  bool Str(std::string* v) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (p_.size() - off_ < n) return false;
+    v->assign(p_.data() + off_, n);
+    off_ += n;
+    return true;
+  }
+  bool AtEnd() const { return off_ == p_.size(); }
+
+ private:
+  std::string_view p_;
+  size_t off_ = 0;
+};
+
+// ----- payload encoders -----
+
+inline std::string EncodeCreateTable(TableId id, std::string_view name) {
+  std::string s;
+  PutU8(&s, static_cast<uint8_t>(RecordType::kCreateTable));
+  PutU32(&s, id);
+  PutStr(&s, name);
+  return s;
+}
+
+/// Encodes a commit payload with `rec.seq` as written (usually a 0
+/// placeholder); `*seq_offset` receives the byte offset of the seq field
+/// for PatchCommitSeq.
+inline std::string EncodeCommit(const CommitRecord& rec, size_t* seq_offset) {
+  std::string s;
+  PutU8(&s, static_cast<uint8_t>(RecordType::kCommit));
+  if (seq_offset) *seq_offset = s.size();
+  PutU64(&s, rec.seq);
+  PutU64(&s, rec.xid);
+  PutU32(&s, static_cast<uint32_t>(rec.entries.size()));
+  for (const CommitEntry& e : rec.entries) {
+    PutU32(&s, e.table);
+    PutU8(&s, e.deleted ? 1 : 0);
+    PutStr(&s, e.key);
+    PutStr(&s, e.value);
+  }
+  return s;
+}
+
+inline void PatchCommitSeq(std::string* payload, size_t seq_offset,
+                           uint64_t seq) {
+  for (int i = 0; i < 8; i++) {
+    (*payload)[seq_offset + static_cast<size_t>(i)] =
+        static_cast<char>((seq >> (8 * i)) & 0xFF);
+  }
+}
+
+inline std::string EncodeAbortMark(uint64_t seq) {
+  std::string s;
+  PutU8(&s, static_cast<uint8_t>(RecordType::kAbortMark));
+  PutU64(&s, seq);
+  return s;
+}
+
+/// Wraps a payload in the [len][crc] frame.
+inline std::string EncodeFrame(std::string_view payload) {
+  std::string s;
+  PutU32(&s, static_cast<uint32_t>(payload.size()));
+  PutU32(&s, util::Crc32(payload.data(), payload.size()));
+  s.append(payload.data(), payload.size());
+  return s;
+}
+
+// ----- decoder -----
+
+struct DecodedRecord {
+  RecordType type = RecordType::kCommit;
+  // kCreateTable
+  TableId table_id = kInvalidTable;
+  std::string table_name;
+  // kCommit
+  CommitRecord commit;
+  // kAbortMark
+  uint64_t abort_seq = 0;
+};
+
+/// Decodes one payload (framing already stripped and CRC-verified).
+/// Returns false on any structural mismatch — recovery treats that the
+/// same as a torn frame and stops.
+inline bool DecodePayload(std::string_view payload, DecodedRecord* out) {
+  PayloadReader r(payload);
+  uint8_t type;
+  if (!r.U8(&type)) return false;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kCreateTable:
+      out->type = RecordType::kCreateTable;
+      return r.U32(&out->table_id) && r.Str(&out->table_name) && r.AtEnd();
+    case RecordType::kCommit: {
+      out->type = RecordType::kCommit;
+      uint32_t n;
+      if (!r.U64(&out->commit.seq) || !r.U64(&out->commit.xid) || !r.U32(&n)) {
+        return false;
+      }
+      if (n > payload.size()) return false;  // cheap sanity bound
+      out->commit.entries.clear();
+      out->commit.entries.reserve(n);
+      for (uint32_t i = 0; i < n; i++) {
+        CommitEntry e;
+        uint8_t del;
+        if (!r.U32(&e.table) || !r.U8(&del) || !r.Str(&e.key) ||
+            !r.Str(&e.value)) {
+          return false;
+        }
+        e.deleted = del != 0;
+        out->commit.entries.push_back(std::move(e));
+      }
+      return r.AtEnd();
+    }
+    case RecordType::kAbortMark:
+      out->type = RecordType::kAbortMark;
+      return r.U64(&out->abort_seq) && r.AtEnd();
+    default:
+      return false;
+  }
+}
+
+}  // namespace pgssi::wal

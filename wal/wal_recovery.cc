@@ -1,0 +1,84 @@
+#include "wal/wal_recovery.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "util/crc32.h"
+
+namespace pgssi::wal {
+
+namespace {
+// Reads the whole file. The log is replayed in full on every open (no
+// checkpointing yet — see ROADMAP), so a streaming reader would buy
+// nothing here.
+Status ReadFile(const std::string& path, std::string* out, bool* missing) {
+  *missing = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (errno == ENOENT) {
+      *missing = true;
+      return Status::OK();
+    }
+    return Status::IOError("wal read " + path + ": " + std::strerror(errno));
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::IOError("wal read " + path + ": short read");
+  return Status::OK();
+}
+}  // namespace
+
+Status ScanWal(const std::string& path, WalScanResult* out) {
+  *out = WalScanResult{};
+  std::string data;
+  bool missing;
+  Status s = ReadFile(path, &data, &missing);
+  if (!s.ok()) return s;
+  if (missing) return Status::OK();
+
+  std::set<uint64_t> aborted;
+  size_t off = 0;
+  while (data.size() - off >= kFrameHeaderBytes) {
+    PayloadReader hdr(std::string_view(data).substr(off, kFrameHeaderBytes));
+    uint32_t len = 0, crc = 0;
+    hdr.U32(&len);
+    hdr.U32(&crc);
+    if (len > kMaxRecordLen || data.size() - off - kFrameHeaderBytes < len) {
+      break;  // torn tail: length field overruns the file
+    }
+    const std::string_view payload =
+        std::string_view(data).substr(off + kFrameHeaderBytes, len);
+    if (util::Crc32(payload.data(), payload.size()) != crc) break;
+    DecodedRecord rec;
+    if (!DecodePayload(payload, &rec)) break;
+    switch (rec.type) {
+      case RecordType::kCreateTable:
+        out->tables.emplace_back(rec.table_id, std::move(rec.table_name));
+        break;
+      case RecordType::kCommit:
+        out->max_seq = std::max(out->max_seq, rec.commit.seq);
+        out->max_xid = std::max(out->max_xid, rec.commit.xid);
+        out->commits[rec.commit.seq] = std::move(rec.commit);
+        break;
+      case RecordType::kAbortMark:
+        out->max_seq = std::max(out->max_seq, rec.abort_seq);
+        aborted.insert(rec.abort_seq);
+        break;
+    }
+    off += kFrameHeaderBytes + len;
+    out->records++;
+  }
+  // Marks can trail their commit record by arbitrarily many frames
+  // (other commits' records land in between), so filter at the end.
+  for (uint64_t seq : aborted) out->commits.erase(seq);
+  out->valid_bytes = off;
+  out->torn_bytes = data.size() - off;
+  return Status::OK();
+}
+
+}  // namespace pgssi::wal

@@ -1,0 +1,56 @@
+// WAL scan for crash recovery.
+//
+// ScanWal reads the log front to back and stops at the FIRST frame that
+// is torn (truncated mid-frame), fails its CRC, or does not decode —
+// everything before that point is the recoverable prefix, everything
+// after is discarded (the writer truncates to valid_bytes on reopen).
+//
+// The scan returns:
+//  - the tables created, in log order (ids were assigned in that order);
+//  - committed write sets keyed by commit seq, with abort-marked seqs
+//    removed (their fsync failed and the client saw an error — see
+//    wal/wal_writer.h);
+//  - the maximum commit seq and xid observed, so the reopened engine
+//    restarts its allocators past everything the log ever used
+//    (including seqs consumed by aborted or marked transactions).
+//
+// Replaying `commits` in ascending-seq order reproduces exactly the
+// acknowledged-commit prefix, plus possibly a suffix of transactions
+// that were fully logged but never acknowledged (their fsync — or the
+// ack that follows it — raced the crash). Each such transaction is
+// applied atomically or not at all, and its snapshot could not have
+// observed any LOST transaction: a commit's ack waits for the watermark,
+// which only advances over contiguously logged-and-synced predecessors,
+// so a missing earlier record implies the later one was never
+// acknowledged either. Dropping a non-acknowledged concurrent
+// transaction is equivalent to a history in which it aborted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "wal/wal_format.h"
+
+namespace pgssi::wal {
+
+struct WalScanResult {
+  // (table id, name) in log order.
+  std::vector<std::pair<TableId, std::string>> tables;
+  // Replayable commits by seq; abort-marked seqs already removed.
+  std::map<uint64_t, CommitRecord> commits;
+  uint64_t max_seq = 0;       // over commit AND abort-mark records
+  uint64_t max_xid = 0;
+  uint64_t valid_bytes = 0;   // well-formed frame prefix length
+  uint64_t torn_bytes = 0;    // bytes discarded after the prefix
+  uint64_t records = 0;       // frames in the valid prefix
+};
+
+/// Missing file => OK with an empty result (first boot). I/O errors are
+/// returned; torn/corrupt tails are NOT errors — they define the prefix.
+Status ScanWal(const std::string& path, WalScanResult* out);
+
+}  // namespace pgssi::wal

@@ -1,0 +1,220 @@
+#include "wal/wal_writer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/failpoint.h"
+#include "wal/wal_format.h"
+
+namespace pgssi::wal {
+
+namespace {
+Status IoError(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+int FsyncRetryEintr(int fd) {
+  int r;
+  do {
+    r = ::fdatasync(fd);
+  } while (r != 0 && errno == EINTR);
+  return r;
+}
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path, uint64_t keep_bytes) {
+  std::unique_lock<std::mutex> l(mu_);
+  if (fd_ >= 0) return Status::Internal("wal already open");
+  fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return IoError("wal open " + path, errno);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    return IoError("wal fstat", err);
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (keep_bytes < size) {
+    // Discard the torn tail recovery stopped at; persist the cut so a
+    // crash right after Open cannot resurrect half a record.
+    if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0 ||
+        FsyncRetryEintr(fd_) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      return IoError("wal truncate torn tail", err);
+    }
+    size = keep_bytes;
+  }
+  appended_.store(size, std::memory_order_release);
+  durable_.store(size, std::memory_order_release);
+
+  // Make the log file's directory entry durable (a freshly created
+  // wal.log otherwise vanishes with its directory on crash).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);  // best effort
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (fd_ < 0) return;
+  (void)FsyncRetryEintr(fd_);  // clean shutdown: everything durable
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status WalWriter::AppendLocked(std::string_view payload,
+                               uint64_t* end_offset) {
+  if (failed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("wal writer failed (latched): durability lost");
+  }
+  if (fd_ < 0) return Status::IOError("wal not open");
+  const std::string frame = EncodeFrame(payload);
+  const uint64_t start = appended_.load(std::memory_order_relaxed);
+  if (util::FailpointFires("wal_append")) {
+    return Status::IOError("wal append failed (injected)");
+  }
+  size_t to_write = frame.size();
+  if (util::FailpointEval("wal_append_partial") ==
+      util::FailpointAction::kCrash) {
+    // Torn-record injection: half a frame reaches the file, then the
+    // process dies. Recovery must stop at `start`.
+    (void)!::write(fd_, frame.data(), frame.size() / 2);
+    std::_Exit(util::kFailpointCrashExit);
+  }
+  const char* p = frame.data();
+  while (to_write > 0) {
+    const ssize_t w = ::write(fd_, p, to_write);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      // Rewind any partial frame so the log stays well-formed for the
+      // NEXT record — without this, everything appended after us would
+      // sit beyond a torn frame and be unreachable to recovery.
+      if (to_write != frame.size() &&
+          ::ftruncate(fd_, static_cast<off_t>(start)) != 0) {
+        failed_.store(true, std::memory_order_relaxed);
+        return Status::IOError(
+            "wal append failed and rewind failed: durability lost");
+      }
+      return IoError("wal append", err);
+    }
+    p += w;
+    to_write -= static_cast<size_t>(w);
+  }
+  const uint64_t end = start + frame.size();
+  appended_.store(end, std::memory_order_release);
+  records_++;
+  *end_offset = end;
+  cv_.notify_all();  // wake a dwelling fsync leader
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::string_view payload, uint64_t* end_offset) {
+  std::unique_lock<std::mutex> l(mu_);
+  return AppendLocked(payload, end_offset);
+}
+
+Status WalWriter::Sync(uint64_t end_offset, uint32_t batch_target,
+                       uint32_t max_wait_us) {
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    if (failed_.load(std::memory_order_relaxed)) {
+      return Status::IOError("wal writer failed (latched): durability lost");
+    }
+    if (durable_.load(std::memory_order_relaxed) >= end_offset) {
+      return Status::OK();  // a previous leader's fsync covered us
+    }
+    if (!sync_in_progress_) break;
+    cv_.wait(l);
+  }
+  // Leader. Dwell for stragglers: each append signals the cv, and the
+  // deadline bounds the added latency. Callers pass max_wait_us == 0
+  // when no sibling commit is in flight (nothing to wait for) or in
+  // kAlways mode.
+  sync_in_progress_ = true;
+  if (batch_target > 1 && max_wait_us > 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(max_wait_us);
+    while (records_ - synced_records_ < batch_target &&
+           cv_.wait_until(l, deadline) != std::cv_status::timeout) {
+    }
+  }
+  const uint64_t target = appended_.load(std::memory_order_relaxed);
+  const uint64_t target_records = records_;
+  const int fd = fd_;
+  l.unlock();
+  int r = 0;
+  if (util::FailpointFires("wal_fsync")) {
+    r = -1;
+    errno = EIO;
+  } else if (fd < 0) {
+    r = -1;
+    errno = EBADF;
+  } else {
+    r = FsyncRetryEintr(fd);
+  }
+  const int err = errno;
+  // Durable-but-unacknowledged crash window: data is on disk, no caller
+  // has been told yet.
+  if (r == 0) (void)util::FailpointFires("wal_after_fsync");
+  l.lock();
+  sync_in_progress_ = false;
+  if (r != 0) {
+    l.unlock();
+    cv_.notify_all();  // let a follower take over / observe the failure
+    return IoError("wal fsync", err);
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (target > durable_.load(std::memory_order_relaxed)) {
+    durable_.store(target, std::memory_order_release);
+  }
+  if (target_records > synced_records_) synced_records_ = target_records;
+  l.unlock();
+  cv_.notify_all();
+  // Our end_offset was appended before we became leader, so the
+  // snapshot covered it: end_offset <= target <= durable_.
+  return Status::OK();
+}
+
+Status WalWriter::AppendCommit(std::string_view payload, uint64_t seq,
+                               WalFsyncMode mode, uint32_t batch_target,
+                               uint32_t max_wait_us) {
+  uint64_t end = 0;
+  Status s = Append(payload, &end);
+  if (!s.ok()) return s;  // nothing (durable) written: plain clean abort
+  if (mode == WalFsyncMode::kOff) return Status::OK();
+  s = Sync(end, mode == WalFsyncMode::kAlways ? 1 : batch_target,
+           mode == WalFsyncMode::kAlways ? 0 : max_wait_us);
+  if (s.ok()) return s;
+  // The commit record is in the log but could not be made durable, and
+  // the caller is about to abort the transaction: append AND sync an
+  // abort mark so recovery can never replay a commit whose client saw
+  // an error. (The failed fsync may still have persisted the record.)
+  // If the mark itself cannot be made durable the writer latches
+  // failed_ — from here on no commit can be promised durable, so none
+  // is acknowledged.
+  uint64_t mark_end = 0;
+  Status ms = util::FailpointFires("wal_abort_mark")
+                  ? Status::IOError("wal abort-mark append failed (injected)")
+                  : Append(EncodeAbortMark(seq), &mark_end);
+  if (ms.ok()) ms = Sync(mark_end, 1, 0);
+  if (!ms.ok()) failed_.store(true, std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pgssi::wal

@@ -1,0 +1,114 @@
+// Append-only redo-log writer with group-commit fsync batching.
+//
+// One WalWriter per open Database. Appends are serialized by an
+// internal mutex; the fsync itself runs with the mutex RELEASED, so
+// commits keep appending while a batch is being made durable — that is
+// what forms the next batch.
+//
+// Group commit (Sync): a committer that needs offset E durable either
+// finds durable_offset_ >= E already (a previous leader's fsync covered
+// it — free), or waits behind the in-progress fsync, or becomes the
+// leader itself. The leader optionally dwells (bounded, cv-timed, and
+// only when the caller says sibling commits are in flight — the
+// commit_delay/commit_siblings analogue) until `batch_target` commit
+// records are unsynced, snapshots the appended offset, fsyncs once, and
+// publishes the new durable offset to every waiter at or below it.
+//
+// Failure contract (the no-acked-but-not-durable ordering):
+//  - Append failure: any partially written frame is rewound
+//    (ftruncate back to the last good offset) so the log stays
+//    well-formed; if even the rewind fails the writer latches failed_
+//    and every later operation errors (durability can no longer be
+//    promised).
+//  - Commit fsync failure (AppendCommit): the commit record is already
+//    in the log, so an ABORT MARK for its seq is appended and synced
+//    before the error is returned — recovery must never replay a
+//    commit its client saw fail. If the mark cannot be made durable,
+//    the writer latches failed_. A lone transient fsync error therefore
+//    aborts one transaction cleanly and the engine keeps committing.
+//
+// All of this runs inside the TxnManager stamp callback, BEFORE the
+// commit seq is published through the completion ring: a failed
+// append/fsync dooms the transaction while its versions are still
+// invisible, and the seq is published unused so the watermark never
+// sticks.
+//
+// Failpoint sites (util/failpoint.h): "wal_append" (before any bytes),
+// "wal_append_partial" (crash after half the frame — a torn record),
+// "wal_fsync" (the fsync call), "wal_after_fsync" (durable but
+// unacknowledged), "wal_abort_mark" (the abort-mark append).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "db/config.h"
+#include "util/status.h"
+
+namespace pgssi::wal {
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if absent) the log at `path` and truncates it to
+  /// `keep_bytes` — the valid-prefix length recovery computed — so a
+  /// torn tail is discarded before new records are appended after it.
+  Status Open(const std::string& path, uint64_t keep_bytes);
+
+  /// Appends one CRC-framed record. On success *end_offset is the file
+  /// offset just past the frame (the argument to Sync).
+  Status Append(std::string_view payload, uint64_t* end_offset);
+
+  /// Durability barrier: returns once every byte below `end_offset` is
+  /// fsynced. `batch_target`/`max_wait_us` shape the leader's
+  /// accumulation dwell (see file comment); pass 1/0 for an immediate
+  /// fsync.
+  Status Sync(uint64_t end_offset, uint32_t batch_target,
+              uint32_t max_wait_us);
+
+  /// Commit append + mode-appropriate barrier + abort-mark-on-failure,
+  /// in one call (see the failure contract above). `payload` must be a
+  /// kCommit record for `seq`.
+  Status AppendCommit(std::string_view payload, uint64_t seq,
+                      WalFsyncMode mode, uint32_t batch_target,
+                      uint32_t max_wait_us);
+
+  /// Final best-effort fsync + close. Idempotent.
+  void Close();
+
+  uint64_t appended_offset() const {
+    return appended_.load(std::memory_order_acquire);
+  }
+  uint64_t durable_offset() const {
+    return durable_.load(std::memory_order_acquire);
+  }
+  /// Total fsync calls issued — the bench's fsyncs-per-commit metric.
+  uint64_t fsync_count() const {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // mu_ held.
+  Status AppendLocked(std::string_view payload, uint64_t* end_offset);
+
+  std::mutex mu_;               // file appends + sync leader state
+  std::condition_variable cv_;  // append progress + fsync completion
+  int fd_ = -1;
+  std::atomic<uint64_t> appended_{0};  // bytes fully appended (mu_)
+  std::atomic<uint64_t> durable_{0};   // bytes known fsynced
+  uint64_t records_ = 0;               // frames appended (mu_)
+  uint64_t synced_records_ = 0;        // frames covered by last fsync (mu_)
+  bool sync_in_progress_ = false;      // leader election (mu_)
+  std::atomic<bool> failed_{false};    // latched: durability broken
+  std::atomic<uint64_t> fsyncs_{0};
+};
+
+}  // namespace pgssi::wal
