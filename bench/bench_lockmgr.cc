@@ -64,6 +64,7 @@ struct Config {
   uint32_t heap_stripes = kHeapStripes;
   uint32_t conflict_lock_mode = 1;
   uint32_t index_olc = 1;
+  uint32_t epoch_reclaim = 1;
   uint64_t skew_pairs = 16;
 };
 
@@ -176,6 +177,80 @@ void RunConflictSkewSeries(const Config& cfg, uint32_t mode, double secs,
   }
 }
 
+// Abort-heavy teardown churn: every transaction reads most of a tiny
+// keyspace and writes part of it, so rw edges are dense, SSI aborts are
+// the COMMON case, and the measured path is xact teardown — exactly
+// what epoch reclamation moved off the exclusive registry lock. Half
+// the surviving transactions also abort voluntarily to keep the
+// teardown rate high even when conflicts momentarily clear.
+Status RunAbortChurn(Database* db, TableId t, Random& rng) {
+  constexpr uint64_t kHotKeys = 8;
+  auto txn = db->Begin({.isolation = IsolationLevel::kSerializable});
+  std::string v;
+  for (int i = 0; i < 4; i++) {
+    Status st = txn->Get(t, "h" + std::to_string(rng.Uniform(kHotKeys)), &v);
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
+    }
+  }
+  for (int i = 0; i < 2; i++) {
+    Status st =
+        txn->Put(t, "h" + std::to_string(rng.Uniform(kHotKeys)), "x");
+    if (!st.ok()) {
+      (void)txn->Abort();
+      return st;
+    }
+  }
+  if (rng.Bernoulli(0.5)) {
+    (void)txn->Abort();
+    return Status::SerializationFailure("voluntary abort (churn)");
+  }
+  return txn->Commit();
+}
+
+// One epoch-reclaim point series of the teardown A/B. The JSON rows
+// carry the audit counter so the "zero exclusive acquisitions" claim is
+// checkable straight from BENCH_lockmgr.json.
+void RunTeardownSeries(const Config& cfg, uint32_t epoch_reclaim, double secs,
+                       std::vector<BenchRow>* rows_out, double* ops8) {
+  char series[48];
+  std::snprintf(series, sizeof(series), "SSI-teardown/%s",
+                epoch_reclaim != 0 ? "epoch" : "exclusive");
+  for (int threads : cfg.threads) {
+    DatabaseOptions opts;
+    opts.engine.heap_stripes = cfg.heap_stripes;
+    opts.engine.conflict_lock_mode = cfg.conflict_lock_mode;
+    opts.engine.index_olc = cfg.index_olc;
+    opts.engine.epoch_reclaim = epoch_reclaim;
+    auto db = Database::Open(opts);
+    TableId t;
+    if (!db->CreateTable("churn", &t).ok()) std::abort();
+    {
+      auto txn = db->Begin({.isolation = IsolationLevel::kRepeatableRead});
+      for (uint64_t k = 0; k < 8; k++) {
+        if (!txn->Put(t, "h" + std::to_string(k), "x").ok()) std::abort();
+      }
+      if (!txn->Commit().ok()) std::abort();
+    }
+    DriverResult r = RunFixedDuration(
+        [&](int, Random& rng) { return RunAbortChurn(db.get(), t, rng); },
+        threads, secs);
+    BenchRow row = RowFromDriver(series, threads, r);
+    row.extra = {
+        {"epoch_reclaim", static_cast<double>(epoch_reclaim)},
+        {"registry_exclusive_acquires",
+         static_cast<double>(db->SireadRegistryExclusiveAcquires())},
+        {"epoch_freed_objects",
+         static_cast<double>(db->EpochFreedObjectCount())}};
+    rows_out->push_back(row);
+    std::printf("%-18s %8d %12.0f %9.2f%% %10.1f %10.1f\n", series, threads,
+                row.ops_per_sec, row.abort_rate * 100, row.p50_us, row.p99_us);
+    std::fflush(stdout);
+    if (threads == 8 && ops8) *ops8 = row.ops_per_sec;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +271,9 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(a + 21, nullptr, 10));
     } else if (std::strncmp(a, "--index-olc=", 12) == 0) {
       cfg.index_olc = static_cast<uint32_t>(std::strtoul(a + 12, nullptr, 10));
+    } else if (std::strncmp(a, "--epoch-reclaim=", 16) == 0) {
+      cfg.epoch_reclaim =
+          static_cast<uint32_t>(std::strtoul(a + 16, nullptr, 10));
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       cfg.threads.clear();
       for (const char* p = a + 10; *p;) {
@@ -207,7 +285,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--rows=N] [--write-frac=F] [--threads=a,b,...] "
                    "[--partitions=N] [--heap-stripes=N] "
-                   "[--conflict-lock-mode=N] [--index-olc=N]\n",
+                   "[--conflict-lock-mode=N] [--index-olc=N] "
+                   "[--epoch-reclaim=N]\n",
                    argv[0]);
       return 2;
     }
@@ -225,6 +304,7 @@ int main(int argc, char** argv) {
     o->engine.heap_stripes = cfg.heap_stripes;
     o->engine.conflict_lock_mode = cfg.conflict_lock_mode;
     o->engine.index_olc = cfg.index_olc;
+    o->engine.epoch_reclaim = cfg.epoch_reclaim;
   }
 
   std::vector<Series> series = {
@@ -316,6 +396,26 @@ int main(int argc, char** argv) {
         "# 8-thread write-skew speedup, fine-grained vs global conflict "
         "lock: %.2fx\n",
         fine8 / cglobal8);
+  }
+
+  std::printf(
+      "\n# Teardown A/B: abort-heavy extreme-conflict churn "
+      "(epoch-limbo reclamation vs exclusive-registry teardown)\n");
+  if (hw < 2) {
+    std::printf(
+        "# NOTE: single-core machine — taking the registry lock off the "
+        "teardown path cannot show its multicore win here.\n");
+  }
+  std::printf("%-18s %8s %12s %10s %10s %10s\n", "series", "threads", "txn/s",
+              "abort%", "p50us", "p99us");
+  double epoch8 = 0, excl8 = 0;
+  RunTeardownSeries(cfg, /*epoch_reclaim=*/1, secs, &rows_out, &epoch8);
+  RunTeardownSeries(cfg, /*epoch_reclaim=*/0, secs, &rows_out, &excl8);
+  if (epoch8 > 0 && excl8 > 0) {
+    std::printf(
+        "# 8-thread abort-churn speedup, epoch reclamation vs exclusive "
+        "registry teardown: %.2fx\n",
+        epoch8 / excl8);
   }
 
   WriteBenchJson("lockmgr", rows_out);

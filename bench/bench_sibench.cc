@@ -141,6 +141,22 @@ void RunInsertStormScaling(double secs, uint32_t index_olc,
     TableId t;
     if (!db->CreateTable("storm", &t).ok()) std::abort();
     std::vector<uint64_t> next_key(static_cast<size_t>(threads), 0);
+    // Retired-memory gauge: while the storm runs, sample the epoch
+    // limbo (plus legacy retained lists) so the JSON shows how much
+    // unreclaimed garbage the workload carries at peak — and that it
+    // returns to zero once the engine quiesces.
+    std::atomic<bool> gauge_stop{false};
+    std::atomic<size_t> retired_peak{0};
+    std::thread gauge([&] {
+      while (!gauge_stop.load(std::memory_order_acquire)) {
+        const size_t now = db->EpochRetiredObjectCount();
+        size_t prev = retired_peak.load(std::memory_order_relaxed);
+        while (now > prev &&
+               !retired_peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
     DriverResult r = RunFixedDuration(
         [&](int ti, Random&) {
           auto txn = db->Begin({.isolation = IsolationLevel::kSerializable});
@@ -157,9 +173,21 @@ void RunInsertStormScaling(double secs, uint32_t index_olc,
           return txn->Commit();
         },
         threads, secs);
+    gauge_stop.store(true, std::memory_order_release);
+    gauge.join();
+    const size_t retired_final = db->EpochRetiredObjectCount();
+    db->QuiesceEpochs();
+    const size_t retired_after_quiesce = db->EpochRetiredObjectCount();
     BenchRow row = RowFromDriver(series, threads, r);
     row.extra = {{"index_olc", static_cast<double>(index_olc)},
-                 {"keys_per_txn", 4.0}};
+                 {"keys_per_txn", 4.0},
+                 {"retired_peak", static_cast<double>(
+                                      retired_peak.load(std::memory_order_relaxed))},
+                 {"retired_final", static_cast<double>(retired_final)},
+                 {"retired_after_quiesce",
+                  static_cast<double>(retired_after_quiesce)},
+                 {"epoch_freed_objects",
+                  static_cast<double>(db->EpochFreedObjectCount())}};
     rows_out->push_back(row);
     std::printf("%-26s %8d %12.0f %9.2f%% %10.1f %10.1f\n", series, threads,
                 row.ops_per_sec, row.abort_rate * 100, row.p50_us, row.p99_us);

@@ -111,6 +111,17 @@ struct EngineConfig {
   // (bench_sibench --index-olc=0).
   uint32_t index_olc = 1;
 
+  // Epoch-based reclamation for conflict-graph xacts and index objects.
+  // 1 (default) = teardown unlinks under shared/sharded locks and hands
+  // freed memory to a grace-period limbo (util/epoch.h): Abort and
+  // Cleanup never take the xact-registry lock exclusive, and the OLC
+  // tree's retired entries / dead leaves are actually freed once every
+  // thread has passed the epoch. 0 = the old regime — exclusive
+  // registry teardown sweeps and type-stable index memory retired until
+  // tree destruction — kept as a same-binary A/B baseline
+  // (bench_lockmgr --epoch-reclaim=0).
+  uint32_t epoch_reclaim = 1;
+
   // Index-gap (phantom) lock granularity for scans.
   IndexGapLocking index_gap_locking = IndexGapLocking::kPage;
 

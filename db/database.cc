@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <functional>
 #include <limits>
+#include <optional>
 
 #include "util/clock.h"
 #include "util/failpoint.h"
@@ -25,6 +26,18 @@ constexpr size_t kPruneChainLength = 8;
 // hardcoded analogue of PostgreSQL's commit_delay (EngineConfig::
 // wal_fsync_batch plays commit_siblings' batching role).
 constexpr uint32_t kWalGroupWaitUs = 100;
+
+// RAII epoch-pin for tree descent/validate regions. Engaged only when the
+// database hands out a manager (epoch_reclaim != 0); in legacy mode the
+// tree's type-stable retained lists make pins unnecessary. Never hold one
+// of these across a blocking row-lock wait — a pinned-but-parked thread
+// stalls reclamation engine-wide.
+struct EpochPinScope {
+  explicit EpochPinScope(util::EpochManager* em) {
+    if (em != nullptr) pin.emplace(em);
+  }
+  std::optional<util::EpochManager::Pin> pin;
+};
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -32,7 +45,7 @@ constexpr uint32_t kWalGroupWaitUs = 100;
 // ---------------------------------------------------------------------------
 
 Database::Database(const DatabaseOptions& opts)
-    : opts_(opts), siread_(opts.engine) {}
+    : opts_(opts), siread_(opts.engine, &epoch_) {}
 
 Database::~Database() = default;
 
@@ -135,7 +148,7 @@ Status Database::CreateTable(const std::string& name, TableId* id) {
   }
   TableId tid = static_cast<TableId>(tables_.size() + 1);
   auto t = std::make_unique<Table>(tid, name, opts_.engine.btree_fanout,
-                                   opts_.engine.heap_stripes);
+                                   opts_.engine.heap_stripes, EpochForPins());
   // Section 5.2.2: leaf splits transfer SIREAD predicate locks so moved
   // granules stay covered.
   t->index.SetSplitListener(
@@ -181,6 +194,22 @@ void Database::RunSireadCleanup() {
   // Section 5.3 cleanup threshold; see TxnManager::CleanupBound for the
   // ordering argument that makes this safe to apply late.
   siread_.Cleanup(txn_mgr_.CleanupBound());
+}
+
+size_t Database::IndexRetiredObjectCount() const {
+  std::shared_lock<std::shared_mutex> l(tables_mu_);
+  size_t n = 0;
+  for (const auto& t : tables_) n += t->index.RetiredObjectCount();
+  return n;
+}
+
+void Database::QuiesceEpochs() {
+  // Flush the deferred index GC first — it retires entries/leaves that
+  // would otherwise still be queued (not yet in the limbo) when the
+  // epoch manager sweeps.
+  if (opts_.engine.index_olc != 0) DrainIndexGc();
+  siread_.Cleanup(txn_mgr_.CleanupBound());
+  epoch_.Quiesce();
 }
 
 BTree::EraseHooks Database::MakeEraseHooks(Table* tbl) {
@@ -230,6 +259,9 @@ void Database::DrainIndexGc() {
     q.swap(gc_queue_);
   }
   std::vector<IndexGcRec> requeue;
+  // Erase() descends optimistically before locking leaves; the descent
+  // must be pinned so concurrently-retired nodes stay dereferenceable.
+  EpochPinScope pin(EpochForPins());
   for (const IndexGcRec& rec : q) {
     Table* tbl = GetTable(rec.table);
     if (!tbl) continue;
@@ -392,6 +424,10 @@ void Transaction::AbortInternal() {
              vs.end());
   };
   const bool olc = db_->opts_.engine.index_olc != 0;
+  // Pin scoped to the rollback loop only (the inline index_olc=0 Erase
+  // descends the tree); released before RunSireadCleanup below so the
+  // cleanup's sweep isn't blocked by our own pin.
+  EpochPinScope pin(db_->EpochForPins());
   for (const WriteRec& w : writes_) {
     Database::Table* tbl = db_->GetTable(w.table);
     if (!tbl) continue;
@@ -416,7 +452,7 @@ void Transaction::AbortInternal() {
     // wrote the chain — the key's exclusive row lock is still held — so
     // an empty chain after rollback means the entry can go. Erase is
     // tid-guarded and runs the coverage-transfer hooks itself.
-    std::unique_lock<std::shared_mutex> il(tbl->index_mu);
+    std::unique_lock<util::WpSharedMutex> il(tbl->index_mu);
     Database::TupleChain& chain = tbl->tuples[w.tid];
     erase_own(chain.versions);
     if (!chain.versions.empty()) continue;
@@ -427,6 +463,7 @@ void Transaction::AbortInternal() {
       tbl->free_chains.push_back(w.tid);
     }
   }
+  pin.pin.reset();  // unpin before cleanup so the sweep can advance
   writes_.clear();
   if (sxact_) {
     db_->siread_.Abort(sxact_);  // frees the xact
@@ -439,6 +476,7 @@ void Transaction::AbortInternal() {
   } else if (olc) {
     db_->DrainIndexGc();  // SI aborts must not strand their GC records
   }
+  if (db_->opts_.engine.epoch_reclaim != 0) db_->epoch_.AmortizedTick();
   finished_ = true;
 }
 
@@ -546,6 +584,9 @@ Status Transaction::Commit() {
     // every transaction concurrent with them has finished.
     db_->RunSireadCleanup();
   }
+  // SI-mode commits never reach Section 5.3 cleanup (the epoch sweep's
+  // main driver), so nudge the limbo here too; amortized, O(1) usually.
+  if (db_->opts_.engine.epoch_reclaim != 0) db_->epoch_.AmortizedTick();
   finished_ = true;
   return Status::OK();
 }
@@ -623,6 +664,10 @@ void Transaction::AcquireGapLock(Database::Table* tbl,
   // validation passes first try.
   const bool next_key_mode =
       db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
+  // Pin across resolve→acquire→Validate: Validate dereferences the nodes
+  // the ReadView witnessed, so the pin must span the whole attempt (and
+  // nests harmlessly under a caller's pin).
+  EpochPinScope pin(db_->EpochForPins());
   for (;;) {
     BTree::ReadView rv;
     if (next_key_mode) {
@@ -673,9 +718,12 @@ Status Transaction::Get(TableId table, const std::string& key,
   }
 
   const bool olc = db_->opts_.engine.index_olc != 0;
+  // Pin the whole lookup→track→Validate region (taken after the blocking
+  // row-lock wait above, never across it).
+  EpochPinScope pin(db_->EpochForPins());
   for (;;) {
-    std::shared_lock<std::shared_mutex> il;
-    if (!olc) il = std::shared_lock<std::shared_mutex>(tbl->index_mu);
+    std::shared_lock<util::WpSharedMutex> il;
+    if (!olc) il = std::shared_lock<util::WpSharedMutex>(tbl->index_mu);
     BTree::ReadView rv;
     TupleId tid;
     PageId page;
@@ -728,7 +776,8 @@ Status Transaction::ScanInternal(
     // then re-read values under the locks.
     std::vector<std::string> keys;
     {
-      std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+      EpochPinScope pin(db_->EpochForPins());
+      std::shared_lock<util::WpSharedMutex> il(tbl->index_mu);
       tbl->index.Scan(lo, hi,
                       [&](const std::string& k, TupleId, PageId, uint32_t) {
                         keys.push_back(k);
@@ -745,7 +794,10 @@ Status Transaction::ScanInternal(
         return st;
       }
     }
-    std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+    // Pinned re-read; the blocking per-key lock waits above stay
+    // unpinned.
+    EpochPinScope pin(db_->EpochForPins());
+    std::shared_lock<util::WpSharedMutex> il(tbl->index_mu);
     for (const std::string& k : keys) {
       TupleId tid;
       PageId page;
@@ -769,8 +821,11 @@ Status Transaction::ScanInternal(
   // index_olc=0 the shared index latch excludes structural changes and
   // every validation passes first try.
   const bool olc = db_->opts_.engine.index_olc != 0;
-  std::shared_lock<std::shared_mutex> il;
-  if (!olc) il = std::shared_lock<std::shared_mutex>(tbl->index_mu);
+  // One pin for the whole scan: a long scan stretches grace periods
+  // rather than risking a batch's ReadView outliving its leaf.
+  EpochPinScope pin(db_->EpochForPins());
+  std::shared_lock<util::WpSharedMutex> il;
+  if (!olc) il = std::shared_lock<util::WpSharedMutex>(tbl->index_mu);
   const bool track = sxact_ && !sxact_->safe_snapshot;
   const bool next_key_mode =
       db_->opts_.engine.index_gap_locking == IndexGapLocking::kNextKey;
@@ -867,7 +922,7 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
     // because we already hold the key's exclusive lock.
     bool exists;
     {
-      std::shared_lock<std::shared_mutex> il(tbl->index_mu);
+      std::shared_lock<util::WpSharedMutex> il(tbl->index_mu);
       exists = tbl->index.Lookup(key, nullptr, nullptr, nullptr);
     }
     if (!exists || deleted) {
@@ -892,9 +947,14 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
   // erase's version bump lands (and restarts into the new-key path) or
   // won the stripe first (and the GC record gets re-enqueued).
   const bool olc = db_->opts_.engine.index_olc != 0;
+  // Pin from here to the end of the function: the existing-chain loop's
+  // ReadView spans lookup→probe→Validate, and the new-key path's
+  // InsertGuarded descends optimistically. The blocking row-lock waits
+  // all happened above, so the pin never parks.
+  EpochPinScope pin(db_->EpochForPins());
   for (;;) {
-    std::shared_lock<std::shared_mutex> il;
-    if (!olc) il = std::shared_lock<std::shared_mutex>(tbl->index_mu);
+    std::shared_lock<util::WpSharedMutex> il;
+    if (!olc) il = std::shared_lock<util::WpSharedMutex>(tbl->index_mu);
     BTree::ReadView rv;
     TupleId tid;
     PageId page;
@@ -1023,8 +1083,8 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
     chain.key = key;
     chain.versions.push_back(Database::Version{value, xid_, 0, false});
   }
-  std::unique_lock<std::shared_mutex> il2;
-  if (!olc) il2 = std::unique_lock<std::shared_mutex>(tbl->index_mu);
+  std::unique_lock<util::WpSharedMutex> il2;
+  if (!olc) il2 = std::unique_lock<util::WpSharedMutex>(tbl->index_mu);
   BTree::InsertHooks hooks;
   if (sxact_) {
     hooks.probe = [&](const std::vector<PageId>& probe_pages, bool has_next,

@@ -27,8 +27,10 @@
 #include "index/btree.h"
 #include "ssi/siread_lock_manager.h"
 #include "txn/txn_manager.h"
+#include "util/epoch.h"
 #include "util/status.h"
 #include "util/striped_latch.h"
+#include "util/wp_shared_mutex.h"
 #include "util/types.h"
 #include "wal/wal_recovery.h"
 #include "wal/wal_writer.h"
@@ -84,6 +86,27 @@ class Database {
   /// fsyncs issued by the WAL writer (0 when WAL is disabled) — the
   /// bench's fsyncs-per-commit metric and the group-commit regressions.
   uint64_t WalFsyncCount() const { return wal_ ? wal_->fsync_count() : 0; }
+  /// Epoch-reclamation introspection: objects sitting in the grace-period
+  /// limbo right now (xacts, SIREAD granule sets, index entries/leaves)
+  /// and the cumulative freed-for-real count. The reclamation regression
+  /// asserts retired drains to 0 after quiesce; the bench samples it as
+  /// a retired-memory gauge.
+  size_t EpochRetiredObjectCount() const {
+    return epoch_.RetiredObjectCount() + IndexRetiredObjectCount();
+  }
+  uint64_t EpochFreedObjectCount() const { return epoch_.FreedObjectCount(); }
+  /// Exclusive acquisitions of the SIREAD xact-registry lock — the
+  /// epoch-mode audit counter (must not grow during teardown churn).
+  uint64_t SireadRegistryExclusiveAcquires() const {
+    return siread_.registry_exclusive_acquires();
+  }
+  /// Objects (retired index entries + dead leaves) every table's tree is
+  /// still holding: limbo-resident in epoch mode, type-stable-retained
+  /// in legacy mode.
+  size_t IndexRetiredObjectCount() const;
+  /// Drive the epoch machinery to a fully drained limbo. Quiescent
+  /// points only (no concurrent transactions).
+  void QuiesceEpochs();
 
  private:
   friend class Transaction;
@@ -145,7 +168,13 @@ class Database {
   // per-xact spinlocks/edge locks):
   //  - index_mu exists for the index_olc=0 A/B baseline only: readers
   //    and single-chain writers take it SHARED, structural operations
-  //    (new-key insert, aborted-insert GC) take it exclusive. With
+  //    (new-key insert, aborted-insert GC) take it exclusive. It is a
+  //    WRITER-PREFERRING latch (util/wp_shared_mutex.h): glibc's
+  //    reader-preferring rwlock let free-running scanners starve an
+  //    insert forever, and the starved insert's open snapshot froze the
+  //    SIREAD cleanup bound — unbounded holder-list growth, livelock.
+  //    Its shared scopes must stay flat (no recursive shared
+  //    acquisition) — see the contract in wp_shared_mutex.h. With
   //    index_olc=1 nothing acquires it: descent is latch-free and
   //    validated, inserts lock only the touched leaves (see
   //    index/btree.h for the acquire-then-validate protocol).
@@ -156,12 +185,22 @@ class Database {
   //    recycles TupleIds of chains whose creating insert aborted; a
   //    chain enters it only AFTER its index entry is gone (inline with
   //    rollback when index_olc=0, in DrainIndexGc when index_olc=1).
+  //  - epoch pins (EngineConfig::epoch_reclaim, not locks, no order):
+  //    every region that descends or validates against the B+-tree, and
+  //    every tree-mutating region, runs under an EpochManager::Pin so
+  //    epoch-retired entries/nodes stay dereferenceable until the region
+  //    ends. Pins are never held across a blocking row-lock wait (that
+  //    would stall reclamation for the whole engine).
   struct Table {
-    Table(TableId i, std::string n, uint32_t fanout, uint32_t stripes)
-        : id(i), name(std::move(n)), index(fanout), heap_latch(stripes) {}
+    Table(TableId i, std::string n, uint32_t fanout, uint32_t stripes,
+          util::EpochManager* epoch)
+        : id(i),
+          name(std::move(n)),
+          index(fanout, epoch),
+          heap_latch(stripes) {}
     TableId id;
     std::string name;
-    mutable std::shared_mutex index_mu;
+    mutable util::WpSharedMutex index_mu;
     BTree index;  // key -> TupleId (+ page/slot granule)
     ChainStore tuples;
     std::mutex alloc_mu;
@@ -172,6 +211,11 @@ class Database {
   explicit Database(const DatabaseOptions& opts);
   Table* GetTable(TableId id) const;
   void RunSireadCleanup();
+  /// The manager tree descents must pin against, or null when epoch
+  /// reclamation is off (legacy type-stable memory needs no pins).
+  util::EpochManager* EpochForPins() {
+    return opts_.engine.epoch_reclaim != 0 ? &epoch_ : nullptr;
+  }
 
   // ----- durability (wal/) -----
   // Scan + replay + writer reopen; called once from Open, before any
@@ -195,6 +239,9 @@ class Database {
   void DrainIndexGc();
   BTree::EraseHooks MakeEraseHooks(Table* tbl);
 
+  // Declared FIRST so it is destroyed LAST: the SIREAD manager and every
+  // table's tree hand memory to the limbo from their own destructors.
+  util::EpochManager epoch_;
   DatabaseOptions opts_;
   txn::TxnManager txn_mgr_;
   ssi::SireadLockManager siread_;

@@ -22,6 +22,9 @@ struct BTree::Node {
   std::atomic<uint64_t> version{0};
   const bool leaf;
   Inner* parent = nullptr;  // maintained and read only under structure_mu_
+  // Position in all_nodes_ (registry_mu_), so epoch-mode retirement can
+  // unlink a node in O(1).
+  size_t registry_idx = 0;
   explicit Node(bool l) : leaf(l) {}
 };
 
@@ -109,10 +112,11 @@ void BTree::UnlockUnchanged(Node* n, uint64_t pre_lock_version) {
 // Construction / destruction
 // ---------------------------------------------------------------------------
 
-BTree::BTree(uint32_t fanout)
+BTree::BTree(uint32_t fanout, util::EpochManager* epoch)
     : fanout_(fanout < 4 ? 4 : fanout),
       leaf_cap_(fanout_ + 1),
-      inner_cap_(fanout_ + 1) {
+      inner_cap_(fanout_ + 1),
+      epoch_(epoch) {
   Leaf* l = new Leaf(leaf_cap_);
   l->page_id.store(next_page_id_.fetch_add(1, std::memory_order_relaxed),
                    std::memory_order_relaxed);
@@ -151,12 +155,52 @@ BTree::~BTree() {
 
 void BTree::RegisterNode(Node* n) {
   std::lock_guard<SpinLock> l(registry_mu_);
+  n->registry_idx = all_nodes_.size();
   all_nodes_.push_back(n);
 }
 
+void BTree::UnregisterNode(Node* n) {
+  std::lock_guard<SpinLock> l(registry_mu_);
+  const size_t i = n->registry_idx;
+  Node* moved = all_nodes_.back();
+  all_nodes_[i] = moved;
+  moved->registry_idx = i;
+  all_nodes_.pop_back();
+}
+
+void BTree::FreeEntryFn(void* p) { delete static_cast<Entry*>(p); }
+void BTree::FreeLeafFn(void* p) { delete static_cast<Leaf*>(p); }
+void BTree::FreeInnerFn(void* p) { delete static_cast<Inner*>(p); }
+
 void BTree::RetireEntry(Entry* e) {
+  if (epoch_ != nullptr) {
+    // Unlinked from its slot already; a pinned reader holding a stale
+    // pointer stays safe until the grace period passes, then the entry
+    // is freed for real.
+    epoch_->Retire(e, FreeEntryFn);
+    return;
+  }
   std::lock_guard<SpinLock> l(registry_mu_);
   retired_entries_.push_back(e);
+}
+
+void BTree::RetireNode(Node* n) {
+  UnregisterNode(n);
+  if (n->leaf) {
+    epoch_->Retire(n, FreeLeafFn);
+  } else {
+    epoch_->Retire(n, FreeInnerFn);
+  }
+}
+
+size_t BTree::RetiredObjectCount() const {
+  size_t n;
+  {
+    std::lock_guard<SpinLock> l(registry_mu_);
+    n = retired_entries_.size();
+  }
+  std::lock_guard<std::mutex> sg(structure_mu_);
+  return n + free_leaves_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -800,7 +844,17 @@ void BTree::TryRecycleLeaf(Leaf* l, const EraseHooks& hooks) {
   if (root_.load(std::memory_order_relaxed) == l) return;
   if (l->count.load(std::memory_order_acquire) != 0) return;  // refilled
   Leaf* prev = PrevLeafLocked(l);
-  if (prev == nullptr) return;  // the leftmost leaf always stays
+  // The leftmost leaf is deliberately never recycled. It is the chain
+  // anchor: every scan that starts below the first separator lands on
+  // it, and the unlink protocol publishes an unlink by locking-and-
+  // bumping the PREDECESSOR (that is how parked readers hopping the
+  // chain detect it) — the head has no predecessor to publish through.
+  // It is also the root's leftmost descent target, so splicing it out
+  // would require re-seating children[0] along the whole left spine.
+  // The cost of keeping it is one empty leaf per table, a constant; the
+  // fanout-4 regression pins both properties (never recycled, bounded
+  // leftover).
+  if (prev == nullptr) return;
   uint64_t prev_pre = LockNode(prev);
   uint64_t l_pre = LockNode(l);
   if (l->count.load(std::memory_order_relaxed) != 0 ||
@@ -822,7 +876,14 @@ void BTree::TryRecycleLeaf(Leaf* l, const EraseHooks& hooks) {
   }
   UnlockBump(l);
   UnlockBump(prev);
-  free_leaves_.push_back(l);
+  if (epoch_ != nullptr) {
+    // Unlinked from the chain and the parent: hand it to the limbo.
+    // Parked readers (pinned) may still traverse l->next until their pin
+    // passes; the memory outlives them by the grace-period contract.
+    RetireNode(l);
+  } else {
+    free_leaves_.push_back(l);
+  }
 }
 
 void BTree::RemoveChildFromParent(Node* child) {
@@ -873,6 +934,12 @@ void BTree::RemoveChildFromParent(Node* child) {
     }
     // Invalidate parked optimistic readers inside the spliced-out node.
     p->version.fetch_add(2, std::memory_order_release);
+    if (epoch_ != nullptr) {
+      // p holds no keys (collapse means count hit 0) and its only child
+      // was re-seated above, so nothing live is reachable through it;
+      // legacy mode leaks it into all_nodes_ until destruction instead.
+      RetireNode(p);
+    }
   }
 }
 

@@ -4,7 +4,6 @@
 #include <limits>
 
 namespace pgssi::ssi {
-
 namespace {
 constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
 constexpr size_t kMaxPartitions = 1024;
@@ -23,28 +22,56 @@ uint64_t MixHash(uint64_t h) {
   h ^= h >> 33;
   return h;
 }
+
+void DeleteXact(void* p) { delete static_cast<SerializableXact*>(p); }
+void DeleteHolderSet(void* p) {
+  delete static_cast<std::unordered_set<SerializableXact*>*>(p);
+}
 }  // namespace
 
-SireadLockManager::SireadLockManager(const EngineConfig& cfg)
+SireadLockManager::SireadLockManager(const EngineConfig& cfg,
+                                     util::EpochManager* epoch)
     : cfg_(cfg),
       fine_locking_(cfg.conflict_lock_mode != 0),
+      epoch_(epoch),
+      epoch_mode_(cfg.epoch_reclaim != 0 && epoch != nullptr),
       partition_count_(RoundUpPow2(std::min<size_t>(
           kMaxPartitions, std::max<uint32_t>(1, cfg.lock_partitions)))),
       partition_mask_(partition_count_ - 1),
       partitions_(new Partition[partition_count_]),
+      xact_shards_(new XactShard[kXactShards]),
       min_committed_seq_(kInf) {}
 
-SireadLockManager::~SireadLockManager() = default;
+SireadLockManager::~SireadLockManager() {
+  // Destruction contract: quiesced. Anything already handed to the
+  // epoch limbo is freed by the EpochManager; everything still linked
+  // here is freed directly.
+  for (size_t i = 0; i < partition_count_; ++i) {
+    Partition& p = partitions_[i];
+    for (auto& [k, s] : p.tuple_locks) delete s;
+    for (auto& [k, s] : p.page_locks) delete s;
+    for (auto& [k, s] : p.rel_locks) delete s;
+  }
+  for (size_t i = 0; i < kXactShards; ++i) {
+    for (auto& [xid, x] : xact_shards_[i].map) delete x;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Conflict-graph locking guards (EngineConfig::conflict_lock_mode A/B)
 //
-// Fine mode: the registry lock is taken SHARED on the conflict path — it
-// only pins xacts_ membership (teardown takes it exclusive) — and the
-// per-xact edge locks provide mutual exclusion, pairs always in
+// Fine mode: the registry lock is taken SHARED on the conflict path and
+// the per-xact edge locks provide mutual exclusion, pairs always in
 // ascending-xid order. Global mode: the registry lock is taken EXCLUSIVE
 // everywhere and the edge guards are no-ops, reproducing the old
 // one-mutex-around-everything design as an honest same-binary baseline.
+//
+// Pointer liveness across teardown differs by reclamation mode. Legacy
+// (epoch_reclaim=0): teardown takes the registry exclusive, so holding
+// it shared pins every resolved xact. Epoch mode: teardown runs under
+// shard locks only, and liveness comes from PinGuard — a torn-down
+// xact's memory sits in the grace-period limbo until every pin taken
+// before its retire has been released.
 // ---------------------------------------------------------------------------
 
 class SireadLockManager::RegistryReadLock {
@@ -54,6 +81,7 @@ class SireadLockManager::RegistryReadLock {
       m_->registry_mu_.lock_shared();
     } else {
       m_->registry_mu_.lock();
+      m_->registry_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   ~RegistryReadLock() {
@@ -109,6 +137,18 @@ class SireadLockManager::EdgePairLock {
   SerializableXact* hi_ = nullptr;
 };
 
+class SireadLockManager::PinGuard {
+ public:
+  explicit PinGuard(const SireadLockManager* m) {
+    if (m->epoch_mode_) pin_.emplace(m->epoch_);
+  }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+ private:
+  std::optional<util::EpochManager::Pin> pin_;
+};
+
 size_t SireadLockManager::PartitionIndex(RelationId rel, PageId page) const {
   return static_cast<size_t>(MixHash(
              static_cast<uint64_t>(rel) * 0x9E3779B97F4A7C15ULL ^ page)) &
@@ -123,22 +163,90 @@ size_t SireadLockManager::PartitionIndexForRelation(RelationId rel) const {
          partition_mask_;
 }
 
+SireadLockManager::XactShard& SireadLockManager::ShardFor(XactId xid) const {
+  return xact_shards_[MixHash(xid) & (kXactShards - 1)];
+}
+
+void SireadLockManager::SyncOccupancy(Partition& p) const {
+  p.mu.AssertHeld();
+  p.occupancy.store(
+      static_cast<int64_t>(p.tuple_locks.size() + p.page_locks.size() +
+                           p.rel_locks.size()),
+      std::memory_order_seq_cst);
+}
+
+void SireadLockManager::FreeHolderSet(HolderSet* s) {
+  if (epoch_mode_) {
+    epoch_->Retire(s, DeleteHolderSet);
+  } else {
+    delete s;
+  }
+}
+
+SireadLockManager::HolderSet* SireadLockManager::GetOrCreate(
+    std::map<TupleTag, HolderSet*>& m, const TupleTag& k) {
+  auto [it, inserted] = m.try_emplace(k, nullptr);
+  if (inserted) it->second = new HolderSet();
+  return it->second;
+}
+
+SireadLockManager::HolderSet* SireadLockManager::GetOrCreate(
+    std::map<std::pair<RelationId, PageId>, HolderSet*>& m,
+    const std::pair<RelationId, PageId>& k) {
+  auto [it, inserted] = m.try_emplace(k, nullptr);
+  if (inserted) it->second = new HolderSet();
+  return it->second;
+}
+
+SireadLockManager::HolderSet* SireadLockManager::GetOrCreate(
+    std::unordered_map<RelationId, HolderSet*>& m, RelationId k) {
+  auto [it, inserted] = m.try_emplace(k, nullptr);
+  if (inserted) it->second = new HolderSet();
+  return it->second;
+}
+
 SerializableXact* SireadLockManager::Register(XactId xid, uint64_t snapshot_seq,
                                               bool read_only) {
-  std::unique_lock<std::shared_mutex> l(registry_mu_);
-  auto x = std::make_unique<SerializableXact>();
+  auto* x = new SerializableXact();
   x->xid = xid;
   x->snapshot_seq = snapshot_seq;
   x->read_only = read_only;
-  SerializableXact* raw = x.get();
-  xacts_[xid] = std::move(x);
-  return raw;
+  // Shared registry + one shard mutex: registration never needs the
+  // global exclusive (legacy teardown's exclusive still excludes it).
+  RegistryReadLock l(this);
+  XactShard& sh = ShardFor(xid);
+  std::lock_guard<CheckedMutex> sl(sh.mu);
+  sh.map[xid] = x;
+  return x;
+}
+
+SerializableXact* SireadLockManager::LookupXact(XactId xid) const {
+  XactShard& sh = ShardFor(xid);
+  std::lock_guard<CheckedMutex> sl(sh.mu);
+  auto it = sh.map.find(xid);
+  return it == sh.map.end() ? nullptr : it->second;
 }
 
 SerializableXact* SireadLockManager::Find(XactId xid) {
   RegistryReadLock l(this);
-  auto it = xacts_.find(xid);
-  return it == xacts_.end() ? nullptr : it->second.get();
+  return LookupXact(xid);
+}
+
+bool SireadLockManager::UnregisterFromShard(SerializableXact* x) {
+  XactShard& sh = ShardFor(x->xid);
+  std::lock_guard<CheckedMutex> sl(sh.mu);
+  auto it = sh.map.find(x->xid);
+  if (it == sh.map.end() || it->second != x) return false;
+  sh.map.erase(it);
+  return true;
+}
+
+void SireadLockManager::FreeXact(SerializableXact* x) {
+  if (epoch_mode_) {
+    epoch_->Retire(x, DeleteXact);
+  } else {
+    delete x;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -165,7 +273,7 @@ bool SireadLockManager::PromoteTuplesToPageLocked(Partition& p, RelationId rel,
   page_promotions_.fetch_add(1, std::memory_order_relaxed);
   auto& pages = x->held_pages[rel];
   if (pages.insert(page).second) {
-    p.page_locks[{rel, page}].insert(x);
+    GetOrCreate(p.page_locks, {rel, page})->insert(x);
   }
   return pages.size() > cfg_.max_pages_per_relation;
 }
@@ -176,8 +284,12 @@ void SireadLockManager::EraseTupleHolder(Partition& p, RelationId rel,
   p.mu.AssertHeld();
   auto it = p.tuple_locks.find({rel, page, slot});
   if (it == p.tuple_locks.end()) return;
-  it->second.erase(x);
-  if (it->second.empty()) p.tuple_locks.erase(it);
+  it->second->erase(x);
+  if (it->second->empty()) {
+    HolderSet* s = it->second;
+    p.tuple_locks.erase(it);
+    FreeHolderSet(s);
+  }
 }
 
 void SireadLockManager::ErasePageHolder(Partition& p, RelationId rel,
@@ -185,8 +297,12 @@ void SireadLockManager::ErasePageHolder(Partition& p, RelationId rel,
   p.mu.AssertHeld();
   auto it = p.page_locks.find({rel, page});
   if (it == p.page_locks.end()) return;
-  it->second.erase(x);
-  if (it->second.empty()) p.page_locks.erase(it);
+  it->second->erase(x);
+  if (it->second->empty()) {
+    HolderSet* s = it->second;
+    p.page_locks.erase(it);
+    FreeHolderSet(s);
+  }
 }
 
 void SireadLockManager::EraseRelationHolder(Partition& p, RelationId rel,
@@ -194,10 +310,14 @@ void SireadLockManager::EraseRelationHolder(Partition& p, RelationId rel,
   p.mu.AssertHeld();
   auto it = p.rel_locks.find(rel);
   if (it == p.rel_locks.end()) return;
-  if (it->second.erase(x)) {
+  if (it->second->erase(x)) {
     rel_lock_count_.fetch_sub(1, std::memory_order_acq_rel);
   }
-  if (it->second.empty()) p.rel_locks.erase(it);
+  if (it->second->empty()) {
+    HolderSet* s = it->second;
+    p.rel_locks.erase(it);
+    FreeHolderSet(s);
+  }
 }
 
 void SireadLockManager::AcquireTuple(SerializableXact* x, RelationId rel,
@@ -219,13 +339,14 @@ void SireadLockManager::AcquireTuple(SerializableXact* x, RelationId rel,
     auto& slots = x->held_tuples[{rel, page}];
     if (std::find(slots.begin(), slots.end(), slot) != slots.end()) return;
     slots.push_back(slot);
-    p.tuple_locks[{rel, page, slot}].insert(x);
+    GetOrCreate(p.tuple_locks, {rel, page, slot})->insert(x);
 
     if (slots.size() > cfg_.max_locks_per_page) {
       // Promote: replace this xact's tuple locks on the page with one page
       // lock (escalation never loses information, only precision).
       need_relation_promotion = PromoteTuplesToPageLocked(p, rel, page, x);
     }
+    SyncOccupancy(p);
   }
   if (need_relation_promotion) {
     AcquireRelationInternal(x, rel, /*from_promotion=*/true);
@@ -247,7 +368,7 @@ void SireadLockManager::AcquirePage(SerializableXact* x, RelationId rel,
     if (x->held_relations.count(rel)) return;
     auto& pages = x->held_pages[rel];
     if (!pages.insert(page).second) return;
-    p.page_locks[{rel, page}].insert(x);
+    GetOrCreate(p.page_locks, {rel, page})->insert(x);
     // Drop now-redundant tuple locks on this page (same partition).
     auto ht = x->held_tuples.find({rel, page});
     if (ht != x->held_tuples.end()) {
@@ -255,6 +376,7 @@ void SireadLockManager::AcquirePage(SerializableXact* x, RelationId rel,
       x->held_tuples.erase(ht);
     }
     need_relation_promotion = pages.size() > cfg_.max_pages_per_relation;
+    SyncOccupancy(p);
   }
   if (need_relation_promotion) {
     AcquireRelationInternal(x, rel, /*from_promotion=*/true);
@@ -281,8 +403,9 @@ void SireadLockManager::AcquireRelationInternal(SerializableXact* x,
     std::lock_guard<SpinLock> hl(x->held_mu);
     if (x->defunct.load(std::memory_order_relaxed)) return;
     if (!x->held_relations.insert(rel).second) return;  // already held
-    rp.rel_locks[rel].insert(x);
+    GetOrCreate(rp.rel_locks, rel)->insert(x);
     rel_lock_count_.fetch_add(1, std::memory_order_acq_rel);
+    SyncOccupancy(rp);
   }
   if (from_promotion) {
     relation_promotions_.fetch_add(1, std::memory_order_relaxed);
@@ -312,6 +435,7 @@ void SireadLockManager::AcquireRelationInternal(SerializableXact* x,
       if (hp->second.empty()) x->held_pages.erase(hp);
       ErasePageHolder(p, rel, pg, x);
     }
+    SyncOccupancy(p);
   }
   for (PageId pg : tuple_pages) {
     Partition& p = PartitionFor(rel, pg);
@@ -322,6 +446,7 @@ void SireadLockManager::AcquireRelationInternal(SerializableXact* x,
       for (uint32_t s : ht->second) EraseTupleHolder(p, rel, pg, s, x);
       x->held_tuples.erase(ht);
     }
+    SyncOccupancy(p);
   }
 }
 
@@ -339,16 +464,20 @@ void SireadLockManager::ReleaseOwnTuple(SerializableXact* x, RelationId rel,
   slots.erase(sit);
   if (slots.empty()) x->held_tuples.erase(ht);
   EraseTupleHolder(p, rel, page, slot, x);
+  SyncOccupancy(p);
 }
 
 ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
                                               uint32_t slot) {
   ProbeResult r;
-  auto add = [&r](const std::unordered_set<SerializableXact*>& holders) {
+  auto add = [&r](const HolderSet& holders) {
     for (SerializableXact* h : holders) {
       // Holders stay reachable while we hold their partition's lock: the
       // releasing thread must sweep this partition (taking its mutex)
-      // before the xact can be freed. Skip ones already being torn down.
+      // before the xact can be freed or retired — if the entry is still
+      // here, the sweep (and therefore the retire) has not happened.
+      // This holds in both reclamation modes. Skip holders already being
+      // torn down.
       if (!h->aborted.load(std::memory_order_acquire) &&
           !h->defunct.load(std::memory_order_acquire)) {
         r.holder_xids.push_back(h->xid);
@@ -357,11 +486,19 @@ ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
   };
   {
     Partition& p = PartitionFor(rel, page);
-    std::lock_guard<CheckedMutex> pl(p.mu);
-    auto t = p.tuple_locks.find({rel, page, slot});
-    if (t != p.tuple_locks.end()) add(t->second);
-    auto pg = p.page_locks.find({rel, page});
-    if (pg != p.page_locks.end()) add(pg->second);
+    // Lock-free probe-miss fast path: an empty partition cannot hold a
+    // conflicting granule. The occupancy counter is republished (seq_cst)
+    // at the end of every mutating critical section, so reading 0 here
+    // linearizes the probe before whichever acquisition would first make
+    // it nonzero — indistinguishable from taking the lock just before
+    // that acquisition, which is a legal (and handled) interleaving.
+    if (p.occupancy.load(std::memory_order_seq_cst) != 0) {
+      std::lock_guard<CheckedMutex> pl(p.mu);
+      auto t = p.tuple_locks.find({rel, page, slot});
+      if (t != p.tuple_locks.end()) add(*t->second);
+      auto pg = p.page_locks.find({rel, page});
+      if (pg != p.page_locks.end()) add(*pg->second);
+    }
   }
   // Relation granules live in their own partition; skip the second lock
   // while no relation lock exists anywhere. A relation lock appearing
@@ -373,7 +510,7 @@ ProbeResult SireadLockManager::ProbeHeapWrite(RelationId rel, PageId page,
     Partition& rp = PartitionForRelation(rel);
     std::lock_guard<CheckedMutex> pl(rp.mu);
     auto rl = rp.rel_locks.find(rel);
-    if (rl != rp.rel_locks.end()) add(rl->second);
+    if (rl != rp.rel_locks.end()) add(*rl->second);
   }
   std::sort(r.holder_xids.begin(), r.holder_xids.end());
   r.holder_xids.erase(std::unique(r.holder_xids.begin(), r.holder_xids.end()),
@@ -403,9 +540,9 @@ void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
     // writers probe the index-reported coordinates, so nothing consults
     // the old granule again; a retained copy would only bloat holders'
     // bookkeeping and drift from the lock table.
-    auto holders = std::move(it->second);
+    HolderSet* holders = it->second;
     P.tuple_locks.erase(it);
-    for (SerializableXact* h : holders) {
+    for (SerializableXact* h : *holders) {
       std::lock_guard<SpinLock> hl(h->held_mu);
       auto ht = h->held_tuples.find({rel, old_page});
       if (ht != h->held_tuples.end()) {
@@ -416,22 +553,25 @@ void SireadLockManager::OnPageSplit(RelationId rel, PageId old_page,
       // A holder whose final release has begun is dropped, not moved:
       // its release sweep may already be past the new page's partition.
       if (h->defunct.load(std::memory_order_relaxed)) continue;
-      Q.tuple_locks[{rel, new_page, s}].insert(h);
+      GetOrCreate(Q.tuple_locks, {rel, new_page, s})->insert(h);
       h->held_tuples[{rel, new_page}].push_back(s);
     }
+    FreeHolderSet(holders);
   }
   auto p = P.page_locks.find({rel, old_page});
   if (p != P.page_locks.end()) {
-    // Copy: the insertions below must not invalidate the iterated set.
-    auto holders = p->second;
-    for (SerializableXact* h : holders) {
+    // The iterated set is never mutated below (only the NEW page's set
+    // and holders' bookkeeping), so iterate it in place.
+    for (SerializableXact* h : *p->second) {
       std::lock_guard<SpinLock> hl(h->held_mu);
       if (h->defunct.load(std::memory_order_relaxed)) continue;
       if (h->held_pages[rel].insert(new_page).second) {
-        Q.page_locks[{rel, new_page}].insert(h);
+        GetOrCreate(Q.page_locks, {rel, new_page})->insert(h);
       }
     }
   }
+  SyncOccupancy(P);
+  if (oi != ni) SyncOccupancy(Q);
 }
 
 void SireadLockManager::OnGapTransfer(RelationId rel, PageId from_page,
@@ -470,13 +610,13 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
   std::vector<SerializableXact*> candidates;
   if (auto it = F.tuple_locks.find({rel, from_page, from_slot});
       it != F.tuple_locks.end()) {
-    candidates.assign(it->second.begin(), it->second.end());
+    candidates.assign(it->second->begin(), it->second->end());
   }
   if (from_page != to_page) {
     if (auto it = F.page_locks.find({rel, from_page});
         it != F.page_locks.end()) {
-      candidates.insert(candidates.end(), it->second.begin(),
-                        it->second.end());
+      candidates.insert(candidates.end(), it->second->begin(),
+                        it->second->end());
     }
   }
   // A holder can appear through both sources; process it once.
@@ -500,7 +640,7 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
     if (to_page_granule) {
       if (has_to_page) continue;
       h->held_pages[rel].insert(to_page);
-      T.page_locks[{rel, to_page}].insert(h);
+      GetOrCreate(T.page_locks, {rel, to_page})->insert(h);
     } else {
       if (has_to_page) continue;  // page granule already covers the slot
       auto& slots = h->held_tuples[{rel, to_page}];
@@ -508,7 +648,7 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
         continue;
       }
       slots.push_back(to_slot);
-      T.tuple_locks[{rel, to_page, to_slot}].insert(h);
+      GetOrCreate(T.tuple_locks, {rel, to_page, to_slot})->insert(h);
       if (slots.size() > cfg_.max_locks_per_page) {
         // Bound the growth a long-lived scanner over a hot insert range
         // would otherwise suffer — every insert into its gap copies its
@@ -521,6 +661,8 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
       }
     }
   }
+  SyncOccupancy(T);
+  if (fi != ti) SyncOccupancy(F);
 }
 
 // ---------------------------------------------------------------------------
@@ -531,15 +673,19 @@ void SireadLockManager::GapTransferInternal(RelationId rel, PageId from_page,
 // traffic, which never touches these locks. Under fine-grained locking
 // the path still scales with CONFLICT rate: an edge only locks its <=2
 // parties (ascending xid) plus the registry SHARED, so edges on
-// disjoint xact pairs proceed in parallel and only teardown serializes.
+// disjoint xact pairs proceed in parallel — and with epoch reclamation
+// on, not even teardown serializes against it.
 //
 // Pointer-liveness argument (fine mode): while a thread holds x's edge
 // lock, every neighbour reachable through x's edge lists stays
-// allocated — freeing a neighbour n requires dissolving the (n, x) edge
-// first, and that dissolve takes x's edge lock. Neighbour lifecycle
-// fields read during the dangerous-structure tests (committed,
-// commit_seq, read_only, snapshot_seq) are atomics or immutable, so
-// neighbours' edge locks are never needed.
+// allocated — retiring or freeing a neighbour n requires dissolving the
+// (n, x) edge first, and that dissolve takes x's edge lock. Neighbour
+// lifecycle fields read during the dangerous-structure tests
+// (committed, commit_seq, read_only, snapshot_seq) are atomics or
+// immutable, so neighbours' edge locks are never needed. Pointers
+// resolved by xid (not reached through an edge list) are pinned by the
+// shared registry lock in legacy mode and by an epoch pin in epoch
+// mode.
 // ---------------------------------------------------------------------------
 
 void SireadLockManager::Doom(SerializableXact* x) {
@@ -574,6 +720,7 @@ bool SireadLockManager::HasOutCommittedBefore(const SerializableXact* x,
 void SireadLockManager::FlagRwConflict(SerializableXact* reader,
                                        SerializableXact* writer) {
   if (reader == nullptr || writer == nullptr || reader == writer) return;
+  PinGuard pg(this);
   RegistryReadLock l(this);
   EdgePairLock el(this, reader, writer);
   FlagRwConflictLocked(reader, writer);
@@ -582,13 +729,15 @@ void SireadLockManager::FlagRwConflict(SerializableXact* reader,
 void SireadLockManager::FlagRwConflictWithWriter(SerializableXact* reader,
                                                  XactId writer_xid) {
   if (reader == nullptr) return;
-  // The shared registry lock is held across the whole flagging: it both
-  // resolves the xid and pins the resolved xact against teardown (which
-  // needs the registry exclusive).
+  // Liveness of the resolved pointer across the whole flagging: the
+  // epoch pin (epoch mode) or the shared registry lock (legacy, where
+  // teardown needs the registry exclusive). The pin must cover the
+  // resolution itself — a pointer resolved before pinning could already
+  // be past its grace period.
+  PinGuard pg(this);
   RegistryReadLock l(this);
-  auto it = xacts_.find(writer_xid);
-  if (it == xacts_.end()) return;  // non-serializable or already cleaned
-  SerializableXact* writer = it->second.get();
+  SerializableXact* writer = LookupXact(writer_xid);
+  if (writer == nullptr) return;  // non-serializable or already cleaned
   if (writer == reader) return;
   EdgePairLock el(this, reader, writer);
   FlagRwConflictLocked(reader, writer);
@@ -597,10 +746,10 @@ void SireadLockManager::FlagRwConflictWithWriter(SerializableXact* reader,
 void SireadLockManager::FlagRwConflictWithReader(XactId reader_xid,
                                                  SerializableXact* writer) {
   if (writer == nullptr) return;
+  PinGuard pg(this);
   RegistryReadLock l(this);
-  auto it = xacts_.find(reader_xid);
-  if (it == xacts_.end()) return;
-  SerializableXact* reader = it->second.get();
+  SerializableXact* reader = LookupXact(reader_xid);
+  if (reader == nullptr) return;
   if (reader == writer) return;
   EdgePairLock el(this, reader, writer);
   FlagRwConflictLocked(reader, writer);
@@ -613,6 +762,16 @@ void SireadLockManager::FlagRwConflictLocked(SerializableXact* reader,
   AssertEdgeHeld(writer);
   if (reader->aborted.load(std::memory_order_relaxed) ||
       writer->aborted.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // A defunct party is mid-teardown: its edges are being dissolved (or
+  // about to be) without the exclusive registry lock in epoch mode, so
+  // adding one now could strand a dangling partner pointer. Skipping is
+  // sound — it is observationally the interleaving where this flagging
+  // ran after the teardown erased the xact from the registry, which the
+  // xid-resolving paths already produce.
+  if (reader->defunct.load(std::memory_order_acquire) ||
+      writer->defunct.load(std::memory_order_acquire)) {
     return;
   }
   if (reader->safe_snapshot.load(std::memory_order_relaxed)) return;
@@ -701,13 +860,16 @@ void SireadLockManager::MaybeDoomOnEdge(SerializableXact* reader,
 Status SireadLockManager::PreCommit(SerializableXact* x) {
   if (!fine_locking_) {
     std::unique_lock<std::shared_mutex> l(registry_mu_);
+    registry_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
     return PreCommitLocked(x);
   }
   // Fine mode: only x's own edge lock. The dangerous-structure test
   // reads x's edge lists (guarded by edge_mu) plus neighbour lifecycle
-  // atomics, and neighbours cannot be freed from under us (see the
-  // liveness argument at the top of this section). No registry lock:
-  // x is the caller's own transaction, so it cannot be torn down here.
+  // atomics, and neighbours cannot be freed from under us in either
+  // reclamation mode (see the liveness argument at the top of this
+  // section — dissolution requires x's edge lock, and retire follows
+  // dissolution). No registry lock: x is the caller's own transaction,
+  // so it cannot be torn down here.
   std::lock_guard<CheckedMutex> el(x->edge_mu);
   return PreCommitLocked(x);
 }
@@ -749,6 +911,22 @@ Status SireadLockManager::PreCommitLocked(SerializableXact* x) {
 
 void SireadLockManager::MarkCommitted(SerializableXact* x,
                                       uint64_t commit_seq) {
+  if (epoch_mode_) {
+    // The shard mutex both orders the commit-seq store against epoch
+    // Cleanup's shard scan (the scan holds it) and makes the per-shard
+    // floor ratchet race-free against the scan's exact recompute — the
+    // legacy design needed the whole registry lock for the same pair of
+    // guarantees.
+    XactShard& sh = ShardFor(x->xid);
+    std::lock_guard<CheckedMutex> sl(sh.mu);
+    x->committed.store(true, std::memory_order_relaxed);
+    x->commit_seq.store(commit_seq, std::memory_order_release);
+    const uint64_t cur = sh.min_committed.load(std::memory_order_relaxed);
+    if (commit_seq < cur) {
+      sh.min_committed.store(commit_seq, std::memory_order_release);
+    }
+    return;
+  }
   // The shared registry lock (exclusive in global mode) is what makes
   // the min ratchet below safe against Cleanup's exact recompute: the
   // recompute runs under the exclusive registry lock, so it cannot scan
@@ -764,23 +942,36 @@ void SireadLockManager::MarkCommitted(SerializableXact* x,
   }
 }
 
-void SireadLockManager::DissolveEdgesLocked(SerializableXact* x,
-                                            bool make_sticky) {
-  // The exclusive registry lock freezes x's edge lists (edges are only
-  // added under the shared registry lock, dissolves are serialized), so
-  // iterating them unlocked is safe; each PARTNER's lists and sticky
-  // flags are mutated under the pair's edge locks because the partner's
-  // own PreCommit / dangerous-structure test reads them under only its
-  // edge lock.
+void SireadLockManager::DissolveEdges(SerializableXact* x, bool make_sticky) {
+  // Snapshot x's lists under x's edge lock. Legacy teardown holds the
+  // registry exclusive, so the snapshot is trivially complete. Epoch
+  // mode: x is aborted or defunct by now, and FlagRwConflictLocked
+  // checks both flags under the pair's edge locks — so any edge added
+  // concurrently either completed before this snapshot (we see it) or
+  // its flagger, serialized after us on x's edge_mu, observes the flag
+  // and backs off. After the snapshot the lists can only shrink
+  // (partners dissolving themselves), which the erase-checks below
+  // tolerate.
+  std::vector<SerializableXact*> outs;
+  std::vector<SerializableXact*> ins;
+  {
+    EdgeLock el(this, x);
+    outs.assign(x->out_edges.begin(), x->out_edges.end());
+    ins.assign(x->in_edges.begin(), x->in_edges.end());
+  }
   const bool x_committed = x->committed.load(std::memory_order_relaxed);
   const uint64_t x_seq = x->commit_seq.load(std::memory_order_relaxed);
-  for (SerializableXact* o : x->out_edges) {
+  for (SerializableXact* o : outs) {
     EdgePairLock el(this, x, o);
+    if (fine_locking_ && x->out_edges.erase(o) == 0) {
+      continue;  // the partner dissolved this edge first
+    }
     o->in_edges.erase(x);
     if (make_sticky && x_committed) o->sticky_in = true;
   }
-  for (SerializableXact* i : x->in_edges) {
+  for (SerializableXact* i : ins) {
     EdgePairLock el(this, x, i);
+    if (fine_locking_ && x->in_edges.erase(i) == 0) continue;
     i->out_edges.erase(x);
     if (make_sticky && x_committed) {
       PGSSI_DCHECK(x_seq != 0);  // only Cleanup makes sticky: seq assigned
@@ -814,89 +1005,181 @@ void SireadLockManager::ReleaseAllLocks(SerializableXact* x) {
     for (uint32_t s : slots) {
       EraseTupleHolder(p, key.first, key.second, s, x);
     }
+    SyncOccupancy(p);
   }
   for (const auto& [rel, pgs] : pages) {
     for (PageId pg : pgs) {
       Partition& p = PartitionFor(rel, pg);
       std::lock_guard<CheckedMutex> pl(p.mu);
       ErasePageHolder(p, rel, pg, x);
+      SyncOccupancy(p);
     }
   }
   for (RelationId rel : rels) {
     Partition& rp = PartitionForRelation(rel);
     std::lock_guard<CheckedMutex> pl(rp.mu);
     EraseRelationHolder(rp, rel, x);
+    SyncOccupancy(rp);
   }
 }
 
 void SireadLockManager::Abort(SerializableXact* x) {
   x->aborted.store(true, std::memory_order_release);
   ReleaseAllLocks(x);
-  std::unique_ptr<SerializableXact> owned;
-  {
-    std::unique_lock<std::shared_mutex> l(registry_mu_);
-    DissolveEdgesLocked(x, /*make_sticky=*/false);
-    auto it = xacts_.find(x->xid);
-    if (it != xacts_.end() && it->second.get() == x) {
-      owned = std::move(it->second);  // frees x below; no-op for stack xacts
-      xacts_.erase(it);
+  if (!epoch_mode_) {
+    SerializableXact* owned = nullptr;
+    {
+      std::unique_lock<std::shared_mutex> l(registry_mu_);
+      registry_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+      DissolveEdges(x, /*make_sticky=*/false);
+      XactShard& sh = ShardFor(x->xid);
+      std::lock_guard<CheckedMutex> sl(sh.mu);
+      auto it = sh.map.find(x->xid);
+      if (it != sh.map.end() && it->second == x) {
+        owned = x;  // frees below; no-op for stack xacts
+        sh.map.erase(it);
+      }
     }
+    delete owned;
+    return;
   }
+  // Epoch mode: unlink from the registry shard first (flaggers can no
+  // longer resolve the xid; ones that already did are pinned and will
+  // observe aborted/defunct under the edge locks), dissolve under the
+  // shared registry lock + a pin (partners mid-teardown themselves stay
+  // dereferenceable through the pin), and retire the memory. No
+  // exclusive registry acquisition anywhere on this path.
+  const bool registered = UnregisterFromShard(x);
+  {
+    RegistryReadLock l(this);
+    PinGuard pg(this);
+    DissolveEdges(x, /*make_sticky=*/false);
+  }
+  if (registered) FreeXact(x);
+  epoch_->AmortizedTick();
 }
 
 void SireadLockManager::Cleanup(uint64_t oldest_active_snapshot_seq) {
-  // Fast out: nothing committed early enough to be freeable. The hint is
-  // conservative (monotone min maintained by MarkCommitted, recomputed
-  // exactly whenever xacts are freed), so a skipped cleanup is always
-  // retried by the next caller once something becomes freeable.
-  if (min_committed_seq_.load(std::memory_order_acquire) >
-      oldest_active_snapshot_seq) {
+  if (!epoch_mode_) {
+    // Fast out: nothing committed early enough to be freeable. The hint
+    // is conservative (monotone min maintained by MarkCommitted,
+    // recomputed exactly whenever xacts are freed), so a skipped cleanup
+    // is always retried by the next caller once something is freeable.
+    if (min_committed_seq_.load(std::memory_order_acquire) >
+        oldest_active_snapshot_seq) {
+      return;
+    }
+    std::vector<SerializableXact*> dead;
+    {
+      std::unique_lock<std::shared_mutex> l(registry_mu_);
+      registry_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t min_seq = kInf;
+      for (size_t i = 0; i < kXactShards; ++i) {
+        XactShard& sh = xact_shards_[i];
+        std::lock_guard<CheckedMutex> sl(sh.mu);
+        for (auto it = sh.map.begin(); it != sh.map.end();) {
+          SerializableXact* x = it->second;
+          const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
+          // commit_seq == 0 means commit-pending: not freeable yet.
+          if (x->committed.load(std::memory_order_relaxed) && seq != 0 &&
+              seq <= oldest_active_snapshot_seq) {
+            DissolveEdges(x, /*make_sticky=*/true);
+            dead.push_back(x);
+            it = sh.map.erase(it);
+          } else {
+            if (x->committed.load(std::memory_order_relaxed) && seq != 0) {
+              min_seq = std::min(min_seq, seq);
+            }
+            ++it;
+          }
+        }
+      }
+      // Exact recompute over the survivors: without this the hint would
+      // stay at the retired floor forever and the early-out above would
+      // never fire again. Safe against concurrent MarkCommitted ratchets
+      // because those hold the registry lock shared.
+      min_committed_seq_.store(min_seq, std::memory_order_release);
+    }
+    // Lock release happens outside the registry lock: the partition sweep
+    // synchronizes with concurrent probes/splits, which is all that is
+    // needed before freeing.
+    for (SerializableXact* x : dead) {
+      ReleaseAllLocks(x);
+      delete x;
+    }
     return;
   }
-  std::vector<std::unique_ptr<SerializableXact>> dead;
-  {
-    std::unique_lock<std::shared_mutex> l(registry_mu_);
-    for (auto it = xacts_.begin(); it != xacts_.end();) {
-      SerializableXact* x = it->second.get();
+
+  // Epoch mode. Drive the limbo on every call — index GC and granule
+  // sets wait on epoch advancement even when no xact is freeable.
+  epoch_->TryAdvanceAndSweep();
+  if (min_committed_seq_hint() > oldest_active_snapshot_seq) return;
+
+  // Phase 1: unlink candidates shard by shard. Holding only the shard
+  // mutex, recompute that shard's committed floor exactly — concurrent
+  // MarkCommitted ratchets for this shard take the same mutex, so the
+  // recompute cannot clobber a commit it did not see.
+  std::vector<SerializableXact*> dead;
+  for (size_t i = 0; i < kXactShards; ++i) {
+    XactShard& sh = xact_shards_[i];
+    std::lock_guard<CheckedMutex> sl(sh.mu);
+    uint64_t min_seq = kInf;
+    for (auto it = sh.map.begin(); it != sh.map.end();) {
+      SerializableXact* x = it->second;
       const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
-      // commit_seq == 0 means commit-pending: not freeable yet.
       if (x->committed.load(std::memory_order_relaxed) && seq != 0 &&
           seq <= oldest_active_snapshot_seq) {
-        DissolveEdgesLocked(x, /*make_sticky=*/true);
-        dead.push_back(std::move(it->second));
-        it = xacts_.erase(it);
+        dead.push_back(x);
+        it = sh.map.erase(it);
       } else {
+        if (x->committed.load(std::memory_order_relaxed) && seq != 0) {
+          min_seq = std::min(min_seq, seq);
+        }
         ++it;
       }
     }
-    // Exact recompute over the survivors: without this the hint would
-    // stay at the retired floor forever and the early-out above would
-    // never fire again. Safe against concurrent MarkCommitted ratchets
-    // because those hold the registry lock shared.
-    uint64_t min_seq = kInf;
-    for (const auto& [xid, x] : xacts_) {
-      const uint64_t seq = x->commit_seq.load(std::memory_order_relaxed);
-      if (x->committed.load(std::memory_order_relaxed) && seq != 0) {
-        min_seq = std::min(min_seq, seq);
-      }
-    }
-    min_committed_seq_.store(min_seq, std::memory_order_release);
+    sh.min_committed.store(min_seq, std::memory_order_release);
   }
-  // Lock release happens outside the registry lock: the partition sweep
-  // synchronizes with concurrent probes/splits, which is all that is
-  // needed before freeing.
-  for (auto& x : dead) ReleaseAllLocks(x.get());
+  if (dead.empty()) return;
+
+  // Phase 2: release SIREAD locks FIRST — this sets defunct, the
+  // barrier that stops new edges from landing on a candidate — then
+  // dissolve edges into sticky summaries under a pin (partners being
+  // torn down concurrently stay dereferenceable), and hand the memory
+  // to the limbo.
+  for (SerializableXact* x : dead) ReleaseAllLocks(x);
+  {
+    RegistryReadLock l(this);
+    PinGuard pg(this);
+    for (SerializableXact* x : dead) {
+      DissolveEdges(x, /*make_sticky=*/true);
+    }
+  }
+  for (SerializableXact* x : dead) FreeXact(x);
+  epoch_->TryAdvanceAndSweep();
 }
 
 bool SireadLockManager::CommittedWithDangerousOut(XactId xid,
                                                   uint64_t snapshot_seq) {
+  PinGuard pg(this);
   RegistryReadLock l(this);
-  auto it = xacts_.find(xid);
-  if (it == xacts_.end()) return false;  // cleaned up => no longer relevant
-  SerializableXact* x = it->second.get();
+  SerializableXact* x = LookupXact(xid);
+  if (x == nullptr) return false;  // cleaned up => no longer relevant
   if (!x->committed.load(std::memory_order_relaxed)) return false;
   EdgeLock el(this, x);
   return HasOutCommittedBefore(x, snapshot_seq + 1);
+}
+
+uint64_t SireadLockManager::min_committed_seq_hint() const {
+  if (!epoch_mode_) {
+    return min_committed_seq_.load(std::memory_order_acquire);
+  }
+  uint64_t m = kInf;
+  for (size_t i = 0; i < kXactShards; ++i) {
+    m = std::min(m,
+                 xact_shards_[i].min_committed.load(std::memory_order_acquire));
+  }
+  return m;
 }
 
 // ---------------------------------------------------------------------------
@@ -910,7 +1193,7 @@ bool SireadLockManager::HoldsTupleLock(const SerializableXact* x,
   std::lock_guard<CheckedMutex> pl(p.mu);
   auto it = p.tuple_locks.find({rel, page, slot});
   return it != p.tuple_locks.end() &&
-         it->second.count(const_cast<SerializableXact*>(x));
+         it->second->count(const_cast<SerializableXact*>(x));
 }
 
 bool SireadLockManager::HoldsPageLock(const SerializableXact* x,
@@ -919,7 +1202,7 @@ bool SireadLockManager::HoldsPageLock(const SerializableXact* x,
   std::lock_guard<CheckedMutex> pl(p.mu);
   auto it = p.page_locks.find({rel, page});
   return it != p.page_locks.end() &&
-         it->second.count(const_cast<SerializableXact*>(x));
+         it->second->count(const_cast<SerializableXact*>(x));
 }
 
 bool SireadLockManager::HoldsRelationLock(const SerializableXact* x,
@@ -928,12 +1211,17 @@ bool SireadLockManager::HoldsRelationLock(const SerializableXact* x,
   std::lock_guard<CheckedMutex> pl(rp.mu);
   auto it = rp.rel_locks.find(rel);
   return it != rp.rel_locks.end() &&
-         it->second.count(const_cast<SerializableXact*>(x));
+         it->second->count(const_cast<SerializableXact*>(x));
 }
 
 size_t SireadLockManager::RegisteredCount() const {
   RegistryReadLock l(this);
-  return xacts_.size();
+  size_t n = 0;
+  for (size_t i = 0; i < kXactShards; ++i) {
+    std::lock_guard<CheckedMutex> sl(xact_shards_[i].mu);
+    n += xact_shards_[i].map.size();
+  }
+  return n;
 }
 
 size_t SireadLockManager::TupleLockCount() const {
@@ -975,6 +1263,12 @@ size_t SireadLockManager::TotalLockCount() const {
 
 bool SireadLockManager::CheckConsistency() const {
   std::unique_lock<std::shared_mutex> xl(registry_mu_);
+  registry_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::unique_lock<CheckedMutex>> shard_locks;
+  shard_locks.reserve(kXactShards);
+  for (size_t i = 0; i < kXactShards; ++i) {
+    shard_locks.emplace_back(xact_shards_[i].mu);
+  }
   std::vector<std::unique_lock<CheckedMutex>> locks;
   locks.reserve(partition_count_);
   for (size_t i = 0; i < partition_count_; i++) {
@@ -983,12 +1277,17 @@ bool SireadLockManager::CheckConsistency() const {
   bool ok = true;
   int64_t rel_entries = 0;
   // Forward: every lock-table entry is mirrored in its holder's held
-  // lists (and hashed to the right partition).
+  // lists (and hashed to the right partition), and the published
+  // occupancy matches the maps.
   for (size_t i = 0; i < partition_count_; i++) {
     const Partition& p = partitions_[i];
+    const int64_t entries =
+        static_cast<int64_t>(p.tuple_locks.size() + p.page_locks.size() +
+                             p.rel_locks.size());
+    if (p.occupancy.load(std::memory_order_relaxed) != entries) ok = false;
     for (const auto& [tag, holders] : p.tuple_locks) {
       if (PartitionIndex(tag.rel, tag.page) != i) ok = false;
-      for (SerializableXact* h : holders) {
+      for (SerializableXact* h : *holders) {
         std::lock_guard<SpinLock> hl(h->held_mu);
         auto ht = h->held_tuples.find({tag.rel, tag.page});
         if (ht == h->held_tuples.end() ||
@@ -1000,7 +1299,7 @@ bool SireadLockManager::CheckConsistency() const {
     }
     for (const auto& [key, holders] : p.page_locks) {
       if (PartitionIndex(key.first, key.second) != i) ok = false;
-      for (SerializableXact* h : holders) {
+      for (SerializableXact* h : *holders) {
         std::lock_guard<SpinLock> hl(h->held_mu);
         auto hp = h->held_pages.find(key.first);
         if (hp == h->held_pages.end() || !hp->second.count(key.second)) {
@@ -1010,8 +1309,8 @@ bool SireadLockManager::CheckConsistency() const {
     }
     for (const auto& [rel, holders] : p.rel_locks) {
       if (PartitionIndexForRelation(rel) != i) ok = false;
-      rel_entries += static_cast<int64_t>(holders.size());
-      for (SerializableXact* h : holders) {
+      rel_entries += static_cast<int64_t>(holders->size());
+      for (SerializableXact* h : *holders) {
         std::lock_guard<SpinLock> hl(h->held_mu);
         if (!h->held_relations.count(rel)) ok = false;
       }
@@ -1021,47 +1320,55 @@ bool SireadLockManager::CheckConsistency() const {
     ok = false;
   }
   // Reverse: every registered xact's held entry exists in the tables.
-  for (const auto& [xid, x] : xacts_) {
-    std::lock_guard<SpinLock> hl(x->held_mu);
-    for (const auto& [key, slots] : x->held_tuples) {
-      const Partition& p = partitions_[PartitionIndex(key.first, key.second)];
-      for (uint32_t s : slots) {
-        auto it = p.tuple_locks.find({key.first, key.second, s});
-        if (it == p.tuple_locks.end() || !it->second.count(x.get())) {
-          ok = false;
+  for (size_t si = 0; si < kXactShards; ++si) {
+    for (const auto& [xid, x] : xact_shards_[si].map) {
+      std::lock_guard<SpinLock> hl(x->held_mu);
+      for (const auto& [key, slots] : x->held_tuples) {
+        const Partition& p =
+            partitions_[PartitionIndex(key.first, key.second)];
+        for (uint32_t s : slots) {
+          auto it = p.tuple_locks.find({key.first, key.second, s});
+          if (it == p.tuple_locks.end() || !it->second->count(x)) {
+            ok = false;
+          }
         }
       }
-    }
-    for (const auto& [rel, pgs] : x->held_pages) {
-      for (PageId pg : pgs) {
-        const Partition& p = partitions_[PartitionIndex(rel, pg)];
-        auto it = p.page_locks.find({rel, pg});
-        if (it == p.page_locks.end() || !it->second.count(x.get())) ok = false;
+      for (const auto& [rel, pgs] : x->held_pages) {
+        for (PageId pg : pgs) {
+          const Partition& p = partitions_[PartitionIndex(rel, pg)];
+          auto it = p.page_locks.find({rel, pg});
+          if (it == p.page_locks.end() || !it->second->count(x)) ok = false;
+        }
+      }
+      for (RelationId rel : x->held_relations) {
+        const Partition& p = partitions_[PartitionIndexForRelation(rel)];
+        auto it = p.rel_locks.find(rel);
+        if (it == p.rel_locks.end() || !it->second->count(x)) ok = false;
       }
     }
-    for (RelationId rel : x->held_relations) {
-      const Partition& p = partitions_[PartitionIndexForRelation(rel)];
-      auto it = p.rel_locks.find(rel);
-      if (it == p.rel_locks.end() || !it->second.count(x.get())) ok = false;
-    }
   }
-  // Conflict-graph invariants (the registry lock excludes every edge
-  // mutation, so the lists can be read without the per-xact edge locks):
+  // Conflict-graph invariants (at a quiescent point nothing mutates the
+  // lists; the registry + shard locks exclude registration/teardown):
   // each edge is mirrored by its partner, partners of live edges are
   // themselves registered, and the sticky commit-seq is either the
   // sentinel or a real (nonzero) sequence number.
   std::unordered_set<const SerializableXact*> registered;
-  registered.reserve(xacts_.size());
-  for (const auto& [xid, x] : xacts_) registered.insert(x.get());
-  for (const auto& [xid, x] : xacts_) {
-    for (SerializableXact* o : x->out_edges) {
-      if (!registered.count(o) || !o->in_edges.count(x.get())) ok = false;
+  for (size_t si = 0; si < kXactShards; ++si) {
+    for (const auto& [xid, x] : xact_shards_[si].map) registered.insert(x);
+  }
+  for (size_t si = 0; si < kXactShards; ++si) {
+    for (const auto& [xid, x] : xact_shards_[si].map) {
+      for (SerializableXact* o : x->out_edges) {
+        if (!registered.count(o) || !o->in_edges.count(x)) ok = false;
+      }
+      for (SerializableXact* i : x->in_edges) {
+        if (!registered.count(i) || !i->out_edges.count(x)) ok = false;
+      }
+      if (x->sticky_out_commit_seq == 0) ok = false;
+      if (x->sticky_out_commit_seq != kNoStickySeq && !x->sticky_out) {
+        ok = false;
+      }
     }
-    for (SerializableXact* i : x->in_edges) {
-      if (!registered.count(i) || !i->out_edges.count(x.get())) ok = false;
-    }
-    if (x->sticky_out_commit_seq == 0) ok = false;
-    if (x->sticky_out_commit_seq != kNoStickySeq && !x->sticky_out) ok = false;
   }
   return ok;
 }

@@ -23,7 +23,9 @@
 //    AcquireTuple/AcquirePage/ProbeHeapWrite take exactly ONE partition
 //    lock on the fast path. Relation granules live in a per-relation
 //    partition; probes skip it entirely while no relation lock exists
-//    anywhere (rel_lock_count_ == 0).
+//    anywhere (rel_lock_count_ == 0). Each partition additionally keeps
+//    an atomic granule-entry count, so a probe of an EMPTY partition is
+//    one atomic load — no lock at all (the probe-miss fast path).
 //  - Each SerializableXact's held-lock bookkeeping is guarded by its own
 //    spinlock (held_mu), always acquired AFTER the owning partition lock.
 //  - The conflict graph scales with conflict rate, not read rate
@@ -35,21 +37,30 @@
 //    test needs only the committing xact's edge lock (neighbour
 //    lifecycle fields are atomics, and a neighbour cannot be freed while
 //    its edge to the pivot exists — dissolution requires the pivot's
-//    edge lock). The registry lock (xacts_ map membership) is taken
-//    EXCLUSIVE only for registration, teardown sweeps, and consistency
-//    checks — pure list maintenance. conflict_lock_mode=0 maps every
-//    conflict-path acquisition back onto the exclusive registry lock
-//    (the old single-global-mutex design) for A/B benching.
+//    edge lock).
+//  - Xact registry membership lives in 16 hashed shards, each with its
+//    own mutex: registration and teardown touch one shard. With
+//    epoch-based reclamation on (EngineConfig::epoch_reclaim, default),
+//    Abort and Cleanup NEVER take the registry lock exclusive — they
+//    unlink under the shard lock + the parties' edge locks and hand the
+//    memory to a grace-period limbo (util/epoch.h); conflict-path
+//    pointer liveness comes from epoch pins instead of a reader-writer
+//    lock. With epoch_reclaim=0 teardown reverts to the old exclusive
+//    registry sweeps (same-binary A/B). The registry lock is then only
+//    taken exclusive by that legacy teardown, by consistency checks,
+//    and in conflict_lock_mode=0 (which maps every conflict-path
+//    acquisition back onto it — the old single-global-mutex design).
 //  - Lifecycle flags (committed/aborted/doomed/...) are atomics so the
 //    hot path (Doomed(), probe holder filtering) reads them lock-free.
 //
-// Lock ordering (outermost first): registry_mu_ > per-xact edge_mu >
-// ... > partition mutex > per-xact held_mu (conflict-graph locks and
-// SIREAD-table locks are never actually nested; the order is total for
-// safety). Two partition locks are only ever held together in canonical
-// (index) order — OnPageSplit / gap transfers moving locks between
-// leaves, never on the acquire/probe fast path. Two edge locks are only
-// ever held together in ascending-xid order.
+// Lock ordering (outermost first): registry_mu_ > xact shard mutex >
+// per-xact edge_mu > ... > partition mutex > per-xact held_mu
+// (conflict-graph locks and SIREAD-table locks are never actually
+// nested; the order is total for safety). Two partition locks are only
+// ever held together in canonical (index) order — OnPageSplit / gap
+// transfers moving locks between leaves, never on the acquire/probe
+// fast path. Two edge locks are only ever held together in
+// ascending-xid order. Epoch pins are not locks and impose no order.
 #pragma once
 
 #include <atomic>
@@ -58,6 +69,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -65,6 +77,7 @@
 
 #include "db/config.h"
 #include "util/dcheck.h"
+#include "util/epoch.h"
 #include "util/spinlock.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -97,7 +110,10 @@ struct SerializableXact {
   std::atomic<bool> doomed{false};
   // Final lock release has begun: no new SIREAD entries may be added for
   // this xact (page splits drop it instead) and probes skip it. Set under
-  // held_mu, checked under held_mu by anyone about to add an entry.
+  // held_mu, checked under held_mu by anyone about to add an entry. Edge
+  // flagging also skips defunct parties (checked under the pair's edge
+  // locks) — the barrier epoch-mode teardown relies on in place of the
+  // exclusive registry lock.
   std::atomic<bool> defunct{false};
 
   // Conflict graph. `in_edges` holds T1 for each T1 -rw-> this edge
@@ -130,11 +146,18 @@ struct ProbeResult {
 
 class SireadLockManager {
  public:
-  explicit SireadLockManager(const EngineConfig& cfg);
+  /// `epoch` may be null; epoch-based reclamation is active only when
+  /// both cfg.epoch_reclaim != 0 AND an EpochManager is supplied (the
+  /// Database always supplies its own; standalone tests opt in).
+  explicit SireadLockManager(const EngineConfig& cfg,
+                             util::EpochManager* epoch = nullptr);
   ~SireadLockManager();
 
   // ----- xact registry (engine-managed transactions) -----
   SerializableXact* Register(XactId xid, uint64_t snapshot_seq, bool read_only);
+  /// Epoch mode: the returned pointer is only guaranteed live while the
+  /// xact cannot be torn down (it is the caller's own, or the caller
+  /// holds an epoch pin taken before the call).
   SerializableXact* Find(XactId xid);
 
   // ----- SIREAD acquisition (Section 5.1) -----
@@ -150,7 +173,9 @@ class SireadLockManager {
   /// Every heap write probes for SIREAD locks (tuple, its page, and the
   /// relation) held by other transactions. Returns all holders' xids.
   /// Takes only the (rel, page) partition lock unless a relation-granule
-  /// lock exists somewhere in the system.
+  /// lock exists somewhere in the system — and not even that when the
+  /// partition's granule count reads zero (one atomic load, no lock:
+  /// equivalent to probing just before any in-flight acquisition).
   ProbeResult ProbeHeapWrite(RelationId rel, PageId page, uint32_t slot);
 
   /// Section 5.2.2: a B+-tree leaf split moved `moved_slots` from
@@ -193,9 +218,11 @@ class SireadLockManager {
   /// Record reader -rw-> writer. May doom one of the parties if this edge
   /// completes a dangerous structure that can no longer resolve safely.
   void FlagRwConflict(SerializableXact* reader, SerializableXact* writer);
-  /// Same, resolving one side by xid under the registry lock (the pointer
-  /// for a foreign xact may be freed concurrently, so callers outside the
-  /// manager must not hold one across calls). Unknown xids are ignored.
+  /// Same, resolving one side by xid (the pointer for a foreign xact may
+  /// be freed concurrently, so callers outside the manager must not hold
+  /// one across calls). Unknown xids are ignored. The whole flagging
+  /// runs under an epoch pin (epoch mode) or the shared registry lock
+  /// (legacy), either of which keeps the resolved xact's memory live.
   void FlagRwConflictWithWriter(SerializableXact* reader, XactId writer_xid);
   void FlagRwConflictWithReader(XactId reader_xid, SerializableXact* writer);
 
@@ -209,8 +236,10 @@ class SireadLockManager {
 
   /// Free committed xacts (and their SIREAD locks) whose commit precedes
   /// every active snapshot. Edges to still-live partners become sticky
-  /// summary flags. Cheap no-op (one atomic load) when nothing is
-  /// freeable.
+  /// summary flags. Cheap no-op (a few atomic loads) when nothing is
+  /// freeable. Epoch mode: the sweep runs shard by shard under shard
+  /// locks, the freed memory goes to the epoch limbo, and the registry
+  /// lock is never taken exclusive.
   void Cleanup(uint64_t oldest_active_snapshot_seq);
 
   /// True if `x` (a committed concurrent txn) makes a candidate snapshot
@@ -243,9 +272,7 @@ class SireadLockManager {
   /// Cleanup's early-out threshold (smallest commit seq among live
   /// committed xacts, kNoStickySeq when none). Introspection only: the
   /// regression tests assert it advances when the floor xact retires.
-  uint64_t min_committed_seq_hint() const {
-    return min_committed_seq_.load(std::memory_order_acquire);
-  }
+  uint64_t min_committed_seq_hint() const;
   uint64_t page_promotions() const {
     return page_promotions_.load(std::memory_order_relaxed);
   }
@@ -255,6 +282,14 @@ class SireadLockManager {
   uint64_t ssi_aborts() const {
     return ssi_aborts_.load(std::memory_order_relaxed);
   }
+  /// How many times registry_mu_ was acquired EXCLUSIVE. The epoch-mode
+  /// audit: under the default config this must not grow during
+  /// abort/cleanup churn (only legacy teardown, conflict_lock_mode=0,
+  /// and CheckConsistency take it).
+  uint64_t registry_exclusive_acquires() const {
+    return registry_exclusive_acquires_.load(std::memory_order_relaxed);
+  }
+  bool epoch_mode() const { return epoch_mode_; }
 
  private:
   struct TupleTag {
@@ -268,17 +303,38 @@ class SireadLockManager {
     }
   };
 
+  /// Holder sets are heap objects so teardown can unlink one from the
+  /// partition map under the partition lock and defer the free through
+  /// the epoch limbo (epoch mode) — the shape a future fully lock-free
+  /// probe needs, and what keeps frees off the partition critical
+  /// sections today.
+  using HolderSet = std::unordered_set<SerializableXact*>;
+
   // One shard of the lock table. Tuple and page granules of a given
   // (relation, page) always live in the same partition; relation granules
   // live in the partition chosen by PartitionIndexForRelation.
   struct alignas(64) Partition {
     mutable CheckedMutex mu;
-    std::map<TupleTag, std::unordered_set<SerializableXact*>> tuple_locks;
-    std::map<std::pair<RelationId, PageId>,
-             std::unordered_set<SerializableXact*>>
-        page_locks;
-    std::unordered_map<RelationId, std::unordered_set<SerializableXact*>>
-        rel_locks;
+    std::map<TupleTag, HolderSet*> tuple_locks;
+    std::map<std::pair<RelationId, PageId>, HolderSet*> page_locks;
+    std::unordered_map<RelationId, HolderSet*> rel_locks;
+    // Exact granule-entry count (tuple + page + rel map entries),
+    // republished at the end of every mutating critical section. A probe
+    // reading 0 can skip the lock: it linearizes before whichever
+    // acquisition would make the count nonzero.
+    std::atomic<int64_t> occupancy{0};
+  };
+
+  // One shard of the xact registry. Registration, xid resolution, and
+  // teardown unlinking touch one shard's mutex; the per-shard committed
+  // floor lets epoch-mode Cleanup recompute its early-out hint without
+  // any global exclusive lock (MarkCommitted's ratchet takes the same
+  // shard mutex, so the recompute cannot clobber a concurrent commit).
+  static constexpr size_t kXactShards = 16;
+  struct alignas(64) XactShard {
+    mutable CheckedMutex mu;
+    std::unordered_map<XactId, SerializableXact*> map;
+    std::atomic<uint64_t> min_committed{kNoStickySeq};
   };
 
   size_t PartitionIndex(RelationId rel, PageId page) const;
@@ -289,6 +345,21 @@ class SireadLockManager {
   Partition& PartitionForRelation(RelationId rel) const {
     return partitions_[PartitionIndexForRelation(rel)];
   }
+  XactShard& ShardFor(XactId xid) const;
+
+  /// Republish p.occupancy from the map sizes; p.mu must be held. Call
+  /// before leaving any critical section that mutated the maps.
+  void SyncOccupancy(Partition& p) const;
+  /// Free (or epoch-retire) an emptied holder set just unlinked from a
+  /// partition map.
+  void FreeHolderSet(HolderSet* s);
+  static HolderSet* GetOrCreate(std::map<TupleTag, HolderSet*>& m,
+                                const TupleTag& k);
+  static HolderSet* GetOrCreate(
+      std::map<std::pair<RelationId, PageId>, HolderSet*>& m,
+      const std::pair<RelationId, PageId>& k);
+  static HolderSet* GetOrCreate(std::unordered_map<RelationId, HolderSet*>& m,
+                                RelationId k);
 
   /// Replaces x's tuple locks on (rel, page) with one page lock; the
   /// owning partition lock and x's held_mu must be held. Returns true
@@ -325,10 +396,14 @@ class SireadLockManager {
   // Conflict-graph locking guards (see the file comment). In
   // global-mutex mode RegistryReadLock is exclusive and the edge guards
   // are no-ops; in fine mode RegistryReadLock is shared and the edge
-  // guards lock edge_mu (pairs in ascending-xid order).
+  // guards lock edge_mu (pairs in ascending-xid order). PinGuard pins
+  // the epoch (epoch mode only): raw xact pointers obtained while
+  // pinned stay dereferenceable even if the xact is torn down
+  // concurrently — its memory sits in the limbo until the pin passes.
   class RegistryReadLock;
   class EdgeLock;
   class EdgePairLock;
+  class PinGuard;
   /// DCHECK that the lock protecting x's edge lists is held by this
   /// thread (x's edge_mu in fine mode; vacuous under the global mutex,
   /// whose std::shared_mutex cannot assert ownership).
@@ -348,15 +423,31 @@ class SireadLockManager {
   void FlagRwConflictLocked(SerializableXact* reader, SerializableXact* writer);
   void MaybeDoomOnEdge(SerializableXact* reader, SerializableXact* writer);
   Status PreCommitLocked(SerializableXact* x);
-  /// Caller holds the registry lock EXCLUSIVE (so no edge can form or
-  /// another dissolve run concurrently); partner back-edges and sticky
-  /// flags are still updated under the pair's edge locks because a
-  /// partner's PreCommit reads its lists under only its own edge lock.
-  void DissolveEdgesLocked(SerializableXact* x, bool make_sticky);
+  /// Dissolve every edge of x. Legacy mode: the caller holds the
+  /// registry lock EXCLUSIVE, which freezes x's lists. Epoch mode: the
+  /// caller holds the registry lock per RegistryReadLock plus an epoch
+  /// pin, and x must already be aborted or defunct — the flag paths
+  /// skip such parties under the pair's edge locks, so after the
+  /// snapshot below no new edge can land on x. Partner back-edges and
+  /// sticky flags are always updated under the pair's edge locks
+  /// because a partner's PreCommit reads its lists under only its own
+  /// edge lock.
+  void DissolveEdges(SerializableXact* x, bool make_sticky);
+  /// Unlink x->xid from its registry shard. Returns true when x was the
+  /// registered entry (i.e. the registry owned it).
+  bool UnregisterFromShard(SerializableXact* x);
+  /// Resolve an xid through its shard (takes the shard mutex). Epoch
+  /// mode: the caller must hold a PinGuard taken before this call.
+  SerializableXact* LookupXact(XactId xid) const;
+  /// Free x now (legacy) or retire it to the epoch limbo.
+  void FreeXact(SerializableXact* x);
 
   EngineConfig cfg_;
   // Fine-grained conflict locking (cfg_.conflict_lock_mode != 0).
   bool fine_locking_;
+  // Epoch-based reclamation (cfg_.epoch_reclaim != 0 && epoch_ != null).
+  util::EpochManager* epoch_;
+  bool epoch_mode_;
   size_t partition_count_;  // power of two
   size_t partition_mask_;
   std::unique_ptr<Partition[]> partitions_;
@@ -366,22 +457,24 @@ class SireadLockManager {
   // under default promotion thresholds).
   std::atomic<int64_t> rel_lock_count_{0};
 
-  // Xact registry. Exclusive for membership changes (Register, Abort,
-  // Cleanup's teardown sweep, CheckConsistency); shared on the conflict
-  // path (xid resolution + pinning the parties of an edge against
-  // teardown, and MarkCommitted's min ratchet, which must not interleave
-  // with Cleanup's exclusive recompute). Never taken on the per-read
-  // SIREAD path. In global-mutex mode every conflict-path acquisition is
-  // exclusive, reproducing the old serializable_xact_mu_ behaviour.
+  // Xact registry. Membership lives in the hashed shards (insertion and
+  // unlinking take one shard mutex). registry_mu_ is the mode switch:
+  // shared on the conflict path; exclusive only for legacy
+  // (epoch_reclaim=0) teardown sweeps — which freeze membership and
+  // edge lists the old way — for CheckConsistency, and for every
+  // conflict-path acquisition in global-mutex conflict_lock_mode=0.
+  // Epoch-mode teardown never takes it exclusive: pointer liveness
+  // comes from epoch pins, edge freezing from the defunct barrier.
   mutable std::shared_mutex registry_mu_;
-  std::unordered_map<XactId, std::unique_ptr<SerializableXact>> xacts_;
+  std::unique_ptr<XactShard[]> xact_shards_;
 
-  // Smallest commit_seq among registered committed xacts; lets Cleanup
-  // bail with one atomic load when nothing can be freed yet. Ratcheted
-  // down by MarkCommitted (CAS, under the shared registry lock),
-  // recomputed exactly by Cleanup whenever xacts are freed — without the
-  // recompute the hint would stay at the all-time floor forever and the
-  // early-out would never fire again.
+  // Legacy-mode hint: smallest commit_seq among registered committed
+  // xacts; lets Cleanup bail with one atomic load when nothing can be
+  // freed yet. Ratcheted down by MarkCommitted (CAS, under the shared
+  // registry lock), recomputed exactly by legacy Cleanup under the
+  // exclusive registry lock. Epoch mode keeps the floor per shard
+  // instead (XactShard::min_committed, maintained under the shard
+  // mutex) — min_committed_seq_hint() folds whichever is active.
   std::atomic<uint64_t> min_committed_seq_;
 
   // Stats: relaxed atomics, incremented from whichever lock context the
@@ -389,6 +482,9 @@ class SireadLockManager {
   std::atomic<uint64_t> page_promotions_{0};
   std::atomic<uint64_t> relation_promotions_{0};
   std::atomic<uint64_t> ssi_aborts_{0};
+  // Mutable: bumped by const introspection (CheckConsistency) and by
+  // guards holding only a const manager pointer.
+  mutable std::atomic<uint64_t> registry_exclusive_acquires_{0};
 };
 
 }  // namespace pgssi::ssi

@@ -17,11 +17,13 @@ namespace pgssi {
 namespace {
 
 DatabaseOptions SmallTree(uint32_t olc,
-                          IndexGapLocking gap = IndexGapLocking::kPage) {
+                          IndexGapLocking gap = IndexGapLocking::kPage,
+                          uint32_t epoch_reclaim = 1) {
   DatabaseOptions o;
   o.engine.btree_fanout = 4;  // force deep splits on a handful of keys
   o.engine.index_olc = olc;
   o.engine.index_gap_locking = gap;
+  o.engine.epoch_reclaim = epoch_reclaim;
   return o;
 }
 
@@ -41,9 +43,11 @@ TxnOptions Serializable() {
 // storm must not grow the leaf chain without bound — every aborted
 // batch's leaves are unlinked once their entries are GC'd.
 TEST(IndexOlcTest, LeafCountBoundedUnderInsertAbortStorm) {
-  for (uint32_t olc : {0u, 1u}) {
-    SCOPED_TRACE("index_olc=" + std::to_string(olc));
-    auto db = Database::Open(SmallTree(olc));
+  for (uint32_t olc : {0u, 1u})
+  for (uint32_t epoch : {0u, 1u}) {
+    SCOPED_TRACE("index_olc=" + std::to_string(olc) +
+                 " epoch_reclaim=" + std::to_string(epoch));
+    auto db = Database::Open(SmallTree(olc, IndexGapLocking::kPage, epoch));
     TableId t;
     ASSERT_TRUE(db->CreateTable("s", &t).ok());
     {
@@ -67,6 +71,13 @@ TEST(IndexOlcTest, LeafCountBoundedUnderInsertAbortStorm) {
     // (50 rounds x ~7 leaves of storm keys each).
     EXPECT_LE(db->IndexLeafCount(t), base_leaves + 2);
     EXPECT_TRUE(db->CheckSsiLockConsistency());
+    if (epoch != 0) {
+      // The storm's erased entries and recycled leaves went through the
+      // limbo; once quiesced they are actually freed, not retained.
+      db->QuiesceEpochs();
+      EXPECT_EQ(db->EpochRetiredObjectCount(), 0u);
+      EXPECT_GT(db->EpochFreedObjectCount(), 0u);
+    }
   }
 }
 
@@ -212,6 +223,10 @@ TEST(IndexOlcTest, InsertStormWithConcurrentScanners) {
     EXPECT_EQ(db->IndexEntryCount(t), expect);
     EXPECT_EQ(db->LiveTupleChainCount(t), expect);
     EXPECT_TRUE(db->CheckSsiLockConsistency());
+    // Epoch reclamation (on by default here): after the storm quiesces,
+    // nothing may linger in the limbo.
+    db->QuiesceEpochs();
+    EXPECT_EQ(db->EpochRetiredObjectCount(), 0u);
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include "db/transaction_handle.h"
 #include "ssi/siread_lock_manager.h"
+#include "util/epoch.h"
 #include "util/random.h"
 
 // Sanitizer runs pay a 10-20x per-access tax; shrink the fixed work so the
@@ -37,7 +38,10 @@ TEST(SsiPartitionStressTest, ManagerChaosLeavesBookkeepingConsistent) {
   cfg.max_locks_per_page = 4;       // exercise tuple->page promotion
   cfg.max_pages_per_relation = 8;   // and page->relation promotion
   cfg.lock_partitions = 16;
-  ssi::SireadLockManager mgr(cfg);
+  // Epoch-mode teardown (the default): granules and xacts retire
+  // through the limbo while the chaos runs.
+  util::EpochManager em;
+  ssi::SireadLockManager mgr(cfg, &em);
 
   constexpr int kThreads = 8;
   constexpr int kXactsPerThread = 120 / PGSSI_STRESS_SCALE;
@@ -119,12 +123,17 @@ TEST(SsiPartitionStressTest, ManagerChaosLeavesBookkeepingConsistent) {
 // xact pairs (partners picked from a shared ring of recently registered
 // xids, resolved by xid because they may already be torn down). This is
 // the workload the per-xact edge locks must survive; run under both
-// settings of the conflict_lock_mode A/B knob, ending in a full
-// conflict-graph + lock-table consistency check.
-void RunConflictStorm(uint32_t conflict_lock_mode) {
+// settings of the conflict_lock_mode A/B knob — and both settings of
+// epoch_reclaim, since teardown-vs-flag races are exactly what the
+// epoch grace period must make safe — ending in a full conflict-graph
+// + lock-table consistency check.
+void RunConflictStorm(uint32_t conflict_lock_mode, uint32_t epoch_reclaim) {
   EngineConfig cfg;
   cfg.conflict_lock_mode = conflict_lock_mode;
-  ssi::SireadLockManager mgr(cfg);
+  cfg.epoch_reclaim = epoch_reclaim;
+  util::EpochManager em;
+  ssi::SireadLockManager mgr(cfg, epoch_reclaim != 0 ? &em : nullptr);
+  ASSERT_EQ(mgr.epoch_mode(), epoch_reclaim != 0);
 
   constexpr int kThreads = 8;
   constexpr int kXactsPerThread = 250 / PGSSI_STRESS_SCALE;
@@ -173,13 +182,24 @@ void RunConflictStorm(uint32_t conflict_lock_mode) {
   mgr.Cleanup(commit_seq.load());
   EXPECT_EQ(mgr.RegisteredCount(), 0u);
   EXPECT_EQ(mgr.TotalLockCount(), 0u);
+  if (epoch_reclaim != 0) {
+    // After quiesce every retired xact/granule must really be gone.
+    em.Quiesce();
+    EXPECT_EQ(em.RetiredObjectCount(), 0u);
+  }
   EXPECT_TRUE(mgr.CheckConsistency());
 }
 
-TEST(SsiPartitionStressTest, ConflictStormFineGrained) { RunConflictStorm(1); }
+TEST(SsiPartitionStressTest, ConflictStormFineGrained) {
+  RunConflictStorm(1, /*epoch_reclaim=*/1);
+}
+
+TEST(SsiPartitionStressTest, ConflictStormFineGrainedLegacyReclaim) {
+  RunConflictStorm(1, /*epoch_reclaim=*/0);
+}
 
 TEST(SsiPartitionStressTest, ConflictStormGlobalMutexBaseline) {
-  RunConflictStorm(0);
+  RunConflictStorm(0, /*epoch_reclaim=*/1);
 }
 
 int ReadInt(Transaction* txn, TableId t, const std::string& key, bool* ok) {

@@ -440,5 +440,80 @@ TEST(WalRecoveryTest, FsyncFailureAbortsSerializableCleanly) {
   }
 }
 
+// Regression: a TRANSIENT failure of the abort mark's own append/fsync
+// used to latch the writer permanently (one hiccup = read-only engine
+// forever). The bounded retry must absorb it: the failing commit still
+// aborts cleanly, and the next commit succeeds.
+TEST(WalRecoveryTest, AbortMarkTransientFailureIsRetriedNotLatched) {
+  const std::string dir = ScratchDir("abortmark_retry");
+  {
+    Status st;
+    auto db = Database::Open(WalOpts(dir, WalFsyncMode::kAlways), &st);
+    ASSERT_TRUE(st.ok());
+    TableId t;
+    ASSERT_TRUE(db->CreateTable("t", &t).ok());
+
+    // Commit fsync fails once → abort-mark path; the mark's FIRST
+    // attempt fails too, the retry succeeds.
+    util::FailpointArm("wal_fsync", util::FailpointAction::kErr, 1);
+    util::FailpointArm("wal_abort_mark", util::FailpointAction::kErr, 1);
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(t, "doomed", "x").ok());
+      Status cs = txn->Commit();
+      ASSERT_FALSE(cs.ok());
+      EXPECT_EQ(cs.code(), Code::kIOError);
+    }
+    util::FailpointClearAll();
+
+    // Writer did NOT latch: the engine keeps committing durably.
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(txn->Put(t, "alive", "y").ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+  }
+  // Recovery: the failed commit is abort-marked, the later one replays.
+  Status st;
+  auto db = Database::Open(WalOpts(dir), &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const TableId t = db->GetTableId("t");
+  auto txn = db->Begin();
+  std::string v;
+  EXPECT_EQ(txn->Get(t, "doomed", &v).code(), Code::kNotFound);
+  ASSERT_TRUE(txn->Get(t, "alive", &v).ok());
+  EXPECT_EQ(v, "y");
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+// Counterpart: when EVERY attempt fails (persistent device fault,
+// injected via the failpoint repeat count) the writer must still latch
+// — durability genuinely cannot be promised any more.
+TEST(WalRecoveryTest, AbortMarkPersistentFailureStillLatchesWriter) {
+  const std::string dir = ScratchDir("abortmark_latch");
+  Status st;
+  auto db = Database::Open(WalOpts(dir, WalFsyncMode::kAlways), &st);
+  ASSERT_TRUE(st.ok());
+  TableId t;
+  ASSERT_TRUE(db->CreateTable("t", &t).ok());
+
+  util::FailpointArm("wal_fsync", util::FailpointAction::kErr, 1);
+  // Every retry re-evaluates the failpoint; cover them all.
+  util::FailpointArm("wal_abort_mark", util::FailpointAction::kErr, 1,
+                     /*repeat=*/16);
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->Put(t, "doomed", "x").ok());
+    EXPECT_EQ(txn->Commit().code(), Code::kIOError);
+  }
+  util::FailpointClearAll();
+  // Latched: no later commit may be acknowledged.
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->Put(t, "late", "z").ok());
+    EXPECT_FALSE(txn->Commit().ok());
+  }
+}
+
 }  // namespace
 }  // namespace pgssi

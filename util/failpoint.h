@@ -44,12 +44,17 @@ class FailpointRegistry {
     return *r;
   }
 
-  /// Arms `name`: `action` fires on the `trigger_at`-th Eval (1-based),
-  /// once, then the point disarms.
+  /// Arms `name`: `action` fires on the `trigger_at`-th Eval (1-based)
+  /// and on the `repeat - 1` evals after it, then the point disarms.
+  /// The default repeat of 1 keeps the classic fire-once contract;
+  /// larger values model persistent faults (e.g. "every abort-mark
+  /// attempt fails" for retry-exhaustion tests).
   void Arm(const std::string& name, FailpointAction action,
-           uint64_t trigger_at = 1) {
+           uint64_t trigger_at = 1, uint64_t repeat = 1) {
     std::lock_guard<std::mutex> l(mu_);
-    points_[name] = State{action, trigger_at == 0 ? 1 : trigger_at, 0};
+    points_[name] =
+        State{action, trigger_at == 0 ? 1 : trigger_at, 0,
+              repeat == 0 ? 1 : repeat};
     RecountLocked();
   }
 
@@ -75,10 +80,12 @@ class FailpointRegistry {
       return FailpointAction::kNone;
     }
     State& s = it->second;
-    if (++s.hits != s.trigger_at) return FailpointAction::kNone;
+    if (++s.hits < s.trigger_at) return FailpointAction::kNone;
     const FailpointAction a = s.action;
-    s.action = FailpointAction::kNone;  // fire once
-    RecountLocked();
+    if (--s.remaining == 0) {
+      s.action = FailpointAction::kNone;  // repeat budget spent: disarm
+      RecountLocked();
+    }
     return a;
   }
 
@@ -87,6 +94,7 @@ class FailpointRegistry {
     FailpointAction action = FailpointAction::kNone;
     uint64_t trigger_at = 1;
     uint64_t hits = 0;
+    uint64_t remaining = 1;
   };
   void RecountLocked() {
     uint32_t n = 0;
@@ -101,8 +109,8 @@ class FailpointRegistry {
 };
 
 inline void FailpointArm(const std::string& name, FailpointAction action,
-                         uint64_t trigger_at = 1) {
-  FailpointRegistry::Instance().Arm(name, action, trigger_at);
+                         uint64_t trigger_at = 1, uint64_t repeat = 1) {
+  FailpointRegistry::Instance().Arm(name, action, trigger_at, repeat);
 }
 inline void FailpointClear(const std::string& name) {
   FailpointRegistry::Instance().Clear(name);

@@ -1,0 +1,79 @@
+// A writer-preferring shared mutex: std::shared_mutex plus an advisory
+// gate that parks NEW shared acquirers while any exclusive acquirer is
+// waiting.
+//
+// Why it exists: glibc's pthread_rwlock (and therefore libstdc++'s
+// std::shared_mutex) is reader-preferring by default — a continuous
+// stream of overlapping shared holders starves an exclusive waiter
+// indefinitely. The legacy index latch (`Table::index_mu`,
+// index_olc=0) hits exactly that shape: free-running scanners hold the
+// latch shared nearly 100% of the time on a loaded core, a new-key
+// insert waits for the exclusive side, and the insert's open snapshot
+// pins the SIREAD cleanup bound while it waits — so committed readers'
+// predicate locks are never pruned, every holder list grows, scans get
+// slower, the shared duty cycle rises, and the system livelocks
+// (observed: >100-second exclusive waits, 16k-holder page granules).
+//
+// The gate breaks the loop without giving up the uncontended fast path:
+// lock_shared() is one relaxed-ish atomic load plus the underlying
+// rwlock when no writer is queued. When a writer IS queued, new readers
+// spin-yield before touching the rwlock, so the writer gets in as soon
+// as the already-admitted readers drain (bounded by one scan). The gate
+// is advisory — a reader that loaded the counter before the writer's
+// increment may still slip in — which is exactly enough to break
+// *persistent* starvation while never blocking a reader behind the gate
+// when no writer is waiting.
+//
+// Requirements on callers (same as any writer-preference scheme):
+//  - No recursive shared acquisition: a thread must not call
+//    lock_shared() while already holding this latch shared, or it can
+//    deadlock against a queued writer. (Every Table::index_mu scope in
+//    db/database.cc is flat and audited for this.)
+//  - A shared holder must not block on a resource owned by a thread
+//    that is queued for the exclusive side (the db layer's lock order
+//    guarantees it: blocking row-lock waits happen strictly before the
+//    index latch is taken).
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace pgssi::util {
+
+class WpSharedMutex {
+ public:
+  WpSharedMutex() = default;
+  WpSharedMutex(const WpSharedMutex&) = delete;
+  WpSharedMutex& operator=(const WpSharedMutex&) = delete;
+
+  void lock() {
+    writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    mu_.lock();
+    writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  bool try_lock() {
+    // No gate bump: a failed try must not park readers.
+    return mu_.try_lock();
+  }
+  void unlock() { mu_.unlock(); }
+
+  void lock_shared() {
+    // Park behind any queued writer (advisory; see file comment).
+    while (writers_waiting_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (writers_waiting_.load(std::memory_order_acquire) != 0) return false;
+    return mu_.try_lock_shared();
+  }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<uint32_t> writers_waiting_{0};
+};
+
+}  // namespace pgssi::util

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/failpoint.h"
 #include "wal/wal_format.h"
@@ -14,6 +15,13 @@
 namespace pgssi::wal {
 
 namespace {
+// Abort-mark durability retry: a transient fsync error while writing
+// the mark should cost nothing extra (the transaction is aborting
+// anyway), not permanently latch the writer. Exhausting all attempts
+// means the device is genuinely refusing writes.
+constexpr uint32_t kAbortMarkAttempts = 3;
+constexpr uint32_t kAbortMarkBackoffUs = 100;  // doubles per attempt
+
 Status IoError(const std::string& what, int err) {
   return Status::IOError(what + ": " + std::strerror(err));
 }
@@ -205,14 +213,29 @@ Status WalWriter::AppendCommit(std::string_view payload, uint64_t seq,
   // the caller is about to abort the transaction: append AND sync an
   // abort mark so recovery can never replay a commit whose client saw
   // an error. (The failed fsync may still have persisted the record.)
-  // If the mark itself cannot be made durable the writer latches
-  // failed_ — from here on no commit can be promised durable, so none
-  // is acknowledged.
-  uint64_t mark_end = 0;
-  Status ms = util::FailpointFires("wal_abort_mark")
-                  ? Status::IOError("wal abort-mark append failed (injected)")
-                  : Append(EncodeAbortMark(seq), &mark_end);
-  if (ms.ok()) ms = Sync(mark_end, 1, 0);
+  //
+  // The mark gets a bounded retry with backoff before the writer gives
+  // up: a single transient error here used to latch failed_ forever,
+  // turning one hiccup into a permanently read-only engine even though
+  // the very next attempt would have succeeded. Only when every attempt
+  // fails is durability genuinely unpromisable and failed_ latches —
+  // from then on no commit is acknowledged. Each attempt re-evaluates
+  // the "wal_abort_mark" failpoint, so tests inject exactly k
+  // consecutive faults via the arm-time repeat count.
+  Status ms;
+  for (uint32_t attempt = 0; attempt < kAbortMarkAttempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          kAbortMarkBackoffUs << (attempt - 1)));
+    }
+    uint64_t mark_end = 0;
+    ms = util::FailpointFires("wal_abort_mark")
+             ? Status::IOError("wal abort-mark append failed (injected)")
+             : Append(EncodeAbortMark(seq), &mark_end);
+    if (ms.ok()) ms = Sync(mark_end, 1, 0);
+    if (ms.ok()) break;
+    if (failed_.load(std::memory_order_relaxed)) break;  // rewind failed: hopeless
+  }
   if (!ms.ok()) failed_.store(true, std::memory_order_relaxed);
   return s;
 }

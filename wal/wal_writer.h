@@ -23,9 +23,11 @@
 //  - Commit fsync failure (AppendCommit): the commit record is already
 //    in the log, so an ABORT MARK for its seq is appended and synced
 //    before the error is returned — recovery must never replay a
-//    commit its client saw fail. If the mark cannot be made durable,
-//    the writer latches failed_. A lone transient fsync error therefore
-//    aborts one transaction cleanly and the engine keeps committing.
+//    commit its client saw fail. The mark itself gets a bounded retry
+//    with backoff (a transient error on the mark's own append/fsync
+//    must not escalate); only when every attempt fails does the writer
+//    latch failed_. A lone transient fsync error therefore aborts one
+//    transaction cleanly and the engine keeps committing.
 //
 // All of this runs inside the TxnManager stamp callback, BEFORE the
 // commit seq is published through the completion ring: a failed
