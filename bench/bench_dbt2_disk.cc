@@ -42,6 +42,7 @@ struct WalVariant {
 
 struct PointResult {
   BenchRow row;
+  std::vector<BenchRow> class_rows;  // per-txn-class series for this point
   double throughput;
   double failure_rate;
   double fsyncs_per_txn;
@@ -83,8 +84,9 @@ PointResult RunPoint(Mode m, const WalVariant& wal, double ro_frac,
     return out;
   }
   const uint64_t fsyncs_before = db->WalFsyncCount();  // loading synced too
-  DriverResult r = RunFixedDuration(
-      [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
+  DriverResult r = RunFixedDurationClassed(
+      [&](int, Random& rng, int* cls) { return bench.RunOne(rng, cls); },
+      {Dbt2::kClassNames[0], Dbt2::kClassNames[1]}, threads, secs);
   const uint64_t fsyncs = db->WalFsyncCount() - fsyncs_before;
 
   out.throughput = r.Throughput();
@@ -99,6 +101,7 @@ PointResult RunPoint(Mode m, const WalVariant& wal, double ro_frac,
                    {"wal_fsync_batch",
                     wal.enabled ? static_cast<double>(wal.batch) : 0.0},
                    {"fsyncs_per_txn", out.fsyncs_per_txn}};
+  AppendClassRows(series, threads, r, &out.class_rows, {{"ro_frac", ro_frac}});
   db.reset();
   std::error_code ec;
   fs::remove_all(dir, ec);
@@ -133,6 +136,8 @@ int main() {
           RunPoint(m, w, 0.2, threads, io_delay_us, secs, series, &rc);
       if (rc) return rc;
       rows_out.push_back(p.row);
+      rows_out.insert(rows_out.end(), p.class_rows.begin(),
+                      p.class_rows.end());
       std::printf("%-22s %12.0f %13.3f%% %12.3f\n", series.c_str(),
                   p.throughput, p.failure_rate * 100, p.fsyncs_per_txn);
       std::fflush(stdout);
@@ -149,6 +154,7 @@ int main() {
         RunPoint(Mode::kSSI, w, 0.2, threads, io_delay_us, secs, series, &rc);
     if (rc) return rc;
     rows_out.push_back(p.row);
+    rows_out.insert(rows_out.end(), p.class_rows.begin(), p.class_rows.end());
     std::printf("%-22s %12.0f %12.3f\n", series.c_str(), p.throughput,
                 p.fsyncs_per_txn);
     std::fflush(stdout);
@@ -170,6 +176,8 @@ int main() {
       if (rc) return rc;
       if (m == Mode::kSI) si_throughput = p.throughput;
       rows_out.push_back(p.row);
+      rows_out.insert(rows_out.end(), p.class_rows.begin(),
+                      p.class_rows.end());
       std::printf("%-10.0f%% %-19s %12.0f %11.2fx %13.3f%%\n", f * 100,
                   ModeName(m), p.throughput,
                   si_throughput > 0 ? p.throughput / si_throughput : 1.0,

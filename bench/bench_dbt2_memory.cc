@@ -48,12 +48,14 @@ int main() {
         std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
         return 1;
       }
-      DriverResult r = RunFixedDuration(
-          [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
+      DriverResult r = RunFixedDurationClassed(
+          [&](int, Random& rng, int* cls) { return bench.RunOne(rng, cls); },
+          {Dbt2::kClassNames[0], Dbt2::kClassNames[1]}, threads, secs);
       if (m == Mode::kSI) si_throughput = r.Throughput();
       BenchRow row = RowFromDriver(ModeName(m), threads, r);
       row.extra = {{"ro_frac", f}};
       rows_out.push_back(row);
+      AppendClassRows(ModeName(m), threads, r, &rows_out, {{"ro_frac", f}});
       std::printf("%-10.0f%% %-19s %12.0f %11.2fx %13.3f%%\n", f * 100,
                   ModeName(m), r.Throughput(),
                   si_throughput > 0 ? r.Throughput() / si_throughput : 1.0,

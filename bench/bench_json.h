@@ -47,6 +47,28 @@ inline BenchRow RowFromDriver(std::string series, int threads,
   return row;
 }
 
+/// Appends one row per transaction class ("<series>/<class>", e.g.
+/// "dbt2/new_order") from a classed driver run: per-class throughput,
+/// abort rate, and latency percentiles, with the shared `extra` facts.
+/// No-op for results from the unclassed driver.
+inline void AppendClassRows(
+    const std::string& series, int threads, workload::DriverResult& r,
+    std::vector<BenchRow>* rows,
+    const std::vector<std::pair<std::string, double>>& extra = {}) {
+  for (workload::ClassResult& c : r.classes) {
+    BenchRow row;
+    row.series = series + "/" + c.name;
+    row.threads = threads;
+    row.ops_per_sec =
+        r.seconds > 0 ? static_cast<double>(c.committed) / r.seconds : 0;
+    row.abort_rate = c.FailureRate();
+    row.p50_us = c.latency_us.Percentile(50);
+    row.p99_us = c.latency_us.Percentile(99);
+    row.extra = extra;
+    rows->push_back(std::move(row));
+  }
+}
+
 /// Writes BENCH_<name>.json. Returns false (and prints to stderr) on I/O
 /// failure; benches treat that as non-fatal.
 inline bool WriteBenchJson(const std::string& name,

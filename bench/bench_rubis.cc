@@ -44,8 +44,10 @@ int main() {
       std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    DriverResult r = RunFixedDuration(
-        [&](int, Random& rng) { return bench.RunOne(rng); }, threads, secs);
+    DriverResult r = RunFixedDurationClassed(
+        [&](int, Random& rng, int* cls) { return bench.RunOne(rng, cls); },
+        {Rubis::kClassNames[0], Rubis::kClassNames[1], Rubis::kClassNames[2]},
+        threads, secs);
     if (m == Mode::kSI) si_throughput = r.Throughput();
     std::printf("%-10s %14.0f %13.2fx %21.4f%%\n", ModeName(m),
                 r.Throughput(),
@@ -58,6 +60,8 @@ int main() {
     row.extra = {{"io_delay_us", static_cast<double>(io_delay_us)},
                  {"consistent", ok ? 1.0 : 0.0}};
     rows_out.push_back(row);
+    AppendClassRows(ModeName(m), threads, r, &rows_out,
+                    {{"io_delay_us", static_cast<double>(io_delay_us)}});
     if (!st.ok() || (!ok && m != Mode::kSI)) {
       // SI may legitimately corrupt the max-bid invariant (that is the
       // point of the paper); serializable modes must not.

@@ -151,8 +151,29 @@ struct EngineConfig {
   // Row-lock wait ceiling (fallback; the wait-for graph detects real
   // deadlocks much sooner).
   uint64_t lock_wait_timeout_us = 2'000'000;
-  // How often a blocked locker re-runs deadlock detection.
+  // How often a blocked locker re-runs deadlock detection. Also the
+  // deadline-poll interval for parked sessions with no wait token
+  // (DEFERRABLE safe-snapshot waits) and the net server's parked-session
+  // re-check backstop.
   uint64_t deadlock_check_interval_us = 2'000;
+
+  // ----- network front end (net/) -----
+  // Worker threads executing session steps — sized to cores, NOT to
+  // connections (sessions are state machines multiplexed over this
+  // pool; a parked session costs no thread).
+  uint32_t net_workers = 4;
+  // Accept ceiling: connections beyond this are refused at accept time.
+  uint32_t net_max_sessions = 4096;
+  // Per-session backpressure: max parsed-but-unexecuted pipelined ops
+  // buffered engine-side; past this the server stops reading the
+  // connection's socket until the queue drains (responses are never
+  // dropped).
+  uint32_t net_backpressure_ops = 32;
+  // Per-session outbound byte cap for slow readers: while a session's
+  // write queue exceeds this, the server pauses executing its ops (the
+  // kernel socket buffer plus this queue bound total memory per slow
+  // client).
+  uint32_t net_write_queue_bytes = 256 * 1024;
 };
 
 struct DatabaseOptions {

@@ -47,7 +47,17 @@ struct EpochPinScope {
 Database::Database(const DatabaseOptions& opts)
     : opts_(opts), siread_(opts.engine, &epoch_) {}
 
-Database::~Database() = default;
+Database::~Database() {
+  // Shutdown ordering (the server has already drained its sessions; no
+  // transaction is live): flush deferred GC and drain the epoch limbo
+  // while every subsystem that frees through the EpochManager is still
+  // alive, then close the WAL so the final fsync happens before any
+  // member teardown. epoch_ is the FIRST member, so it is destroyed
+  // last — after the SIREAD manager and the trees have retired their
+  // remaining memory through it.
+  QuiesceEpochs();
+  if (wal_) wal_->Close();
+}
 
 std::unique_ptr<Database> Database::Open(const DatabaseOptions& opts,
                                          Status* status) {
@@ -184,7 +194,11 @@ Database::Table* Database::GetTable(TableId id) const {
 }
 
 std::unique_ptr<Transaction> Database::Begin(const TxnOptions& opts) {
-  return std::unique_ptr<Transaction>(new Transaction(this, opts));
+  auto t = std::unique_ptr<Transaction>(new Transaction(this, opts));
+  // Blocking mode never fails Start (the DEFERRABLE loop runs to
+  // completion inside).
+  (void)t->Start(/*non_blocking=*/false);
+  return t;
 }
 
 void Database::RunSireadCleanup() {
@@ -350,43 +364,68 @@ Transaction::Transaction(Database* db, const TxnOptions& opts)
   use_s2pl_ = serializable &&
               db_->opts_.serializable_impl == SerializableImpl::kS2PL;
   use_ssi_ = serializable && !use_s2pl_;
+}
 
-  if (use_ssi_ && opts.read_only && opts.deferrable) {
+Status Transaction::Start(bool non_blocking) {
+  if (started_) return Status::OK();
+  non_blocking_ = non_blocking;
+
+  if (use_ssi_ && opts_.read_only && opts_.deferrable) {
     // DEFERRABLE: loop until a snapshot is retroactively proven safe
     // (Section 4 / Section 8.4). Take a snapshot, wait out every
     // read-write serializable transaction concurrent with it, and check
-    // none of them committed with a dangerous out-edge.
+    // none of them committed with a dangerous out-edge. In non-blocking
+    // mode the "wait out" leg is a resumable state machine: the begun
+    // snapshot parks in def_* and kWouldBlock tells the session to
+    // re-call Start later (no wait token — the caller deadline-polls;
+    // wiring per-xid finish notifications isn't worth it for a begin
+    // path that is rare by construction).
     for (;;) {
-      auto r = db_->txn_mgr_.Begin(/*serializable_rw=*/false);
-      auto concurrent = db_->txn_mgr_.ActiveSerializableRW();
-      db_->txn_mgr_.WaitForFinish(concurrent);
+      if (!def_pending_) {
+        def_begin_ = db_->txn_mgr_.Begin(/*serializable_rw=*/false);
+        def_concurrent_ = db_->txn_mgr_.ActiveSerializableRW();
+        def_pending_ = true;
+      }
+      if (non_blocking_) {
+        if (db_->txn_mgr_.AnyActive(def_concurrent_)) {
+          wait_token_ = nullptr;
+          return Status(Code::kWouldBlock, "deferrable safe-snapshot wait");
+        }
+      } else {
+        db_->txn_mgr_.WaitForFinish(def_concurrent_);
+      }
       bool unsafe = false;
-      for (XactId x : concurrent) {
-        if (db_->siread_.CommittedWithDangerousOut(x, r.snapshot_seq)) {
+      for (XactId x : def_concurrent_) {
+        if (db_->siread_.CommittedWithDangerousOut(x, def_begin_.snapshot_seq)) {
           unsafe = true;
           break;
         }
       }
       if (unsafe) {
-        db_->txn_mgr_.Abort(r.xid);
+        db_->txn_mgr_.Abort(def_begin_.xid);
         db_->deferrable_retries_.fetch_add(1, std::memory_order_relaxed);
+        def_pending_ = false;
         continue;
       }
-      xid_ = r.xid;
-      snapshot_seq_ = r.snapshot_seq;
+      xid_ = def_begin_.xid;
+      snapshot_seq_ = def_begin_.snapshot_seq;
       sxact_ = db_->siread_.Register(xid_, snapshot_seq_, /*read_only=*/true);
       sxact_->safe_snapshot.store(true, std::memory_order_release);
       db_->safe_snapshots_.fetch_add(1, std::memory_order_relaxed);
-      return;
+      def_pending_ = false;
+      def_concurrent_.clear();
+      started_ = true;
+      return Status::OK();
     }
   }
 
-  auto r = db_->txn_mgr_.Begin(/*serializable_rw=*/use_ssi_ && !opts.read_only);
+  auto r =
+      db_->txn_mgr_.Begin(/*serializable_rw=*/use_ssi_ && !opts_.read_only);
   xid_ = r.xid;
   snapshot_seq_ = use_s2pl_ ? kInfSeq : r.snapshot_seq;
   if (use_ssi_) {
-    sxact_ = db_->siread_.Register(xid_, r.snapshot_seq, opts.read_only);
-    if (opts.read_only && db_->opts_.engine.enable_read_only_opt &&
+    sxact_ = db_->siread_.Register(xid_, r.snapshot_seq, opts_.read_only);
+    if (opts_.read_only && db_->opts_.engine.enable_read_only_opt &&
         !db_->txn_mgr_.AnyActiveSerializableRW()) {
       // Opportunistic safe snapshot: with no concurrent read-write
       // serializable transaction, Theorem 4 makes this snapshot safe
@@ -395,6 +434,38 @@ Transaction::Transaction(Database* db, const TxnOptions& opts)
       db_->safe_snapshots_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  started_ = true;
+  return Status::OK();
+}
+
+Status Transaction::AcquireRowLock(TableId table, const std::string& key,
+                                   LockTable::Mode mode) {
+  const EngineConfig& eng = db_->opts_.engine;
+  if (!non_blocking_) {
+    return db_->row_locks_.Acquire(xid_, table, key, mode,
+                                   eng.lock_wait_timeout_us,
+                                   eng.deadlock_check_interval_us);
+  }
+  // Session mode. The wait deadline spans suspensions: it anchors at the
+  // first would-block of this operation and is cleared when any lock
+  // acquisition for the op succeeds (on success the op either finishes
+  // or would-blocks on a LATER lock, restarting the clock — each lock in
+  // a multi-lock op gets its own full timeout, same as the blocking
+  // path).
+  const uint64_t now = NowMicros();
+  const bool timed_out = wait_started_us_ != 0 &&
+                         now > wait_started_us_ + eng.lock_wait_timeout_us;
+  auto token = std::make_shared<util::WaitToken>();
+  Status st =
+      db_->row_locks_.AcquireAsync(xid_, table, key, mode, timed_out, token);
+  if (st.code() == Code::kWouldBlock) {
+    if (wait_started_us_ == 0) wait_started_us_ = now;
+    wait_token_ = std::move(token);
+  } else {
+    wait_started_us_ = 0;
+    wait_token_ = nullptr;
+  }
+  return st;
 }
 
 Transaction::~Transaction() {
@@ -412,6 +483,17 @@ Status Transaction::CheckActive() {
 }
 
 void Transaction::AbortInternal() {
+  if (!started_) {
+    // A session tore down mid-begin. A parked DEFERRABLE begin has a
+    // registered (snapshot-pinning) xid that must deregister, but no
+    // writes, locks, or SIREAD state exist yet.
+    if (def_pending_) {
+      db_->txn_mgr_.Abort(def_begin_.xid);
+      def_pending_ = false;
+    }
+    finished_ = true;
+    return;
+  }
   // Roll back uncommitted versions. Chains this transaction created
   // (new-key inserts) are garbage-collected: the index entry is erased
   // and the chain recycled — leaking them would bloat the heap forever
@@ -488,6 +570,24 @@ Status Transaction::Abort() {
 
 Status Transaction::Commit() {
   if (finished_) return Status::Internal("transaction already finished");
+  if (non_blocking_ && !commit_gate_waited_ && !writes_.empty() &&
+      db_->wal_ != nullptr &&
+      db_->opts_.engine.wal_fsync != WalFsyncMode::kOff) {
+    // WAL commit gate: if a group fsync is in flight RIGHT NOW, a commit
+    // started here would queue behind it as a follower and block the
+    // worker for a whole device sync. Park once instead; when the token
+    // fires the batch we join is fresh. One park max (commit_gate_waited_)
+    // — the retried commit runs the normal blocking path, and a session
+    // that becomes the fsync LEADER pays its own fsync synchronously on
+    // the worker (unavoidable without an async I/O reactor; documented
+    // in README "Network front end").
+    auto token = std::make_shared<util::WaitToken>();
+    if (db_->wal_->RegisterSyncWaiter(token)) {
+      commit_gate_waited_ = true;
+      wait_token_ = std::move(token);
+      return Status(Code::kWouldBlock, "wal group fsync in flight");
+    }
+  }
   if (sxact_ && db_->siread_.Doomed(sxact_)) {
     AbortInternal();
     return Status::SerializationFailure(
@@ -707,9 +807,10 @@ Status Transaction::Get(TableId table, const std::string& key,
   SimulatedIoDelay(db_->opts_.engine.simulated_io_delay_us);
 
   if (use_s2pl_) {
-    st = db_->row_locks_.Acquire(xid_, table, key, LockTable::Mode::kShared,
-                                 db_->opts_.engine.lock_wait_timeout_us,
-                                 db_->opts_.engine.deadlock_check_interval_us);
+    st = AcquireRowLock(table, key, LockTable::Mode::kShared);
+    // Would-block: return BEFORE any mutation/pin/latch — the session
+    // re-issues this Get verbatim after the wait token fires.
+    if (st.IsWouldBlock()) return st;
     if (!st.ok()) {
       db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
       AbortInternal();
@@ -763,10 +864,8 @@ Status Transaction::ScanInternal(
 
   if (use_s2pl_) {
     // Phantom stub: the table-gap lock blocks concurrent inserts/deletes.
-    st = db_->row_locks_.Acquire(xid_, table, kGapLockKey,
-                                 LockTable::Mode::kShared,
-                                 db_->opts_.engine.lock_wait_timeout_us,
-                                 db_->opts_.engine.deadlock_check_interval_us);
+    st = AcquireRowLock(table, kGapLockKey, LockTable::Mode::kShared);
+    if (st.IsWouldBlock()) return st;
     if (!st.ok()) {
       db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
       AbortInternal();
@@ -785,9 +884,11 @@ Status Transaction::ScanInternal(
                       });
     }
     for (const std::string& k : keys) {
-      st = db_->row_locks_.Acquire(xid_, table, k, LockTable::Mode::kShared,
-                                   db_->opts_.engine.lock_wait_timeout_us,
-                                   db_->opts_.engine.deadlock_check_interval_us);
+      st = AcquireRowLock(table, k, LockTable::Mode::kShared);
+      // Safe to re-issue the whole scan: the shared table-gap lock
+      // (already held) pins the key set, per-key Acquires are
+      // re-entrant, and nothing was emitted yet.
+      if (st.IsWouldBlock()) return st;
       if (!st.ok()) {
         db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
         AbortInternal();
@@ -908,9 +1009,10 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
   // SI/SSI this
   // is the blocking half of first-updater-wins; for S2PL it is the
   // exclusive lock held to commit.
-  st = db_->row_locks_.Acquire(xid_, table, key, LockTable::Mode::kExclusive,
-                               db_->opts_.engine.lock_wait_timeout_us,
-                               db_->opts_.engine.deadlock_check_interval_us);
+  st = AcquireRowLock(table, key, LockTable::Mode::kExclusive);
+  // Would-block precedes every mutation: the session re-issues this
+  // write verbatim on wakeup (the key lock, once granted, stays held).
+  if (st.IsWouldBlock()) return st;
   if (!st.ok()) {
     if (use_s2pl_) db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
     AbortInternal();
@@ -926,10 +1028,8 @@ Status Transaction::WriteInternal(TableId table, const std::string& key,
       exists = tbl->index.Lookup(key, nullptr, nullptr, nullptr);
     }
     if (!exists || deleted) {
-      st = db_->row_locks_.Acquire(xid_, table, kGapLockKey,
-                                   LockTable::Mode::kExclusive,
-                                   db_->opts_.engine.lock_wait_timeout_us,
-                                   db_->opts_.engine.deadlock_check_interval_us);
+      st = AcquireRowLock(table, kGapLockKey, LockTable::Mode::kExclusive);
+      if (st.IsWouldBlock()) return st;
       if (!st.ok()) {
         db_->s2pl_deadlocks_.fetch_add(1, std::memory_order_relaxed);
         AbortInternal();

@@ -25,7 +25,7 @@ void LockTable::Blockers(const Entry& e, XactId xid,
   }
 }
 
-bool LockTable::IsDeadlockVictim(XactId self) const {
+XactId LockTable::CycleVictim(XactId self) const {
   // self is deadlocked iff it lies on a waits_for_ cycle, i.e. some node is
   // both reachable from self and reaches self. Intersecting the forward and
   // backward reachable sets yields the full strongly connected component
@@ -48,7 +48,7 @@ bool LockTable::IsDeadlockVictim(XactId self) const {
     stack.pop_back();
     expand(cur);
   }
-  if (fwd.empty()) return false;
+  if (fwd.empty()) return 0;
 
   // Backward set: grow "reaches self" until a fixpoint (wait-for graphs are
   // tiny — a handful of blocked xacts — so the quadratic sweep is cheap).
@@ -76,7 +76,98 @@ bool LockTable::IsDeadlockVictim(XactId self) const {
       victim = std::max(victim, x);
     }
   }
-  return on_cycle && victim == self;
+  return on_cycle ? victim : 0;
+}
+
+void LockTable::MaybeEraseLocked(const Key& k) {
+  auto lit = locks_.find(k);
+  if (lit == locks_.end()) return;
+  const Entry& e = lit->second;
+  if (e.exclusive == 0 && e.sharers.empty() && e.waiters == 0 &&
+      e.async_waiters.empty()) {
+    locks_.erase(lit);
+  }
+}
+
+void LockTable::DeregisterAsyncLocked(XactId xid) {
+  auto wit = async_wait_key_.find(xid);
+  if (wit == async_wait_key_.end()) return;
+  Key k = wit->second;
+  async_wait_key_.erase(wit);
+  auto lit = locks_.find(k);
+  if (lit != locks_.end()) {
+    lit->second.async_waiters.erase(xid);
+    MaybeEraseLocked(k);
+  }
+  waits_for_.erase(xid);
+}
+
+Status LockTable::AcquireAsync(XactId xid, TableId table,
+                               const std::string& key, Mode mode,
+                               bool timed_out,
+                               const util::WaitTokenPtr& token) {
+  util::WaitTokenPtr victim_token;
+  Status st;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    Key k{table, key};
+    Entry& e = locks_[k];
+    if (CanGrant(e, xid, mode)) {
+      DeregisterAsyncLocked(xid);
+      if (mode == Mode::kShared) {
+        if (e.exclusive != xid && e.sharers.insert(xid).second) {
+          held_[xid].push_back(k);
+        }
+      } else {
+        if (e.exclusive != xid) {
+          e.sharers.erase(xid);  // shared -> exclusive upgrade in place
+          e.exclusive = xid;
+          held_[xid].push_back(k);
+        }
+      }
+      st = Status::OK();
+    } else if (timed_out) {
+      DeregisterAsyncLocked(xid);
+      MaybeEraseLocked(k);
+      st = Status::SerializationFailure("lock wait timeout");
+    } else {
+      // A retry on a different key than the previous registration (the
+      // session abandoned an op) must not leak the old waiter slot.
+      auto wit = async_wait_key_.find(xid);
+      if (wit != async_wait_key_.end() && wit->second != k) {
+        DeregisterAsyncLocked(xid);
+      }
+      Blockers(e, xid, &waits_for_[xid]);
+      e.async_waiters[xid] = token;
+      async_wait_key_[xid] = k;
+      XactId victim = CycleVictim(xid);
+      if (victim == xid) {
+        DeregisterAsyncLocked(xid);
+        MaybeEraseLocked(k);
+        st = Status::SerializationFailure("deadlock detected");
+      } else {
+        if (victim != 0) {
+          // The victim is some other cycle member. If it is parked
+          // async it has no wakeup tick of its own — signal it so it
+          // retries and discovers victimhood. (A blocking waiter
+          // re-checks on its interval tick; no action needed.)
+          auto vit = async_wait_key_.find(victim);
+          if (vit != async_wait_key_.end()) {
+            auto vlit = locks_.find(vit->second);
+            if (vlit != locks_.end()) {
+              auto tit = vlit->second.async_waiters.find(victim);
+              if (tit != vlit->second.async_waiters.end()) {
+                victim_token = tit->second;
+              }
+            }
+          }
+        }
+        st = Status(Code::kWouldBlock, "lock wait");
+      }
+    }
+  }
+  if (victim_token) victim_token->Signal();
+  return st;
 }
 
 Status LockTable::Acquire(XactId xid, TableId table, const std::string& key,
@@ -117,6 +208,7 @@ Status LockTable::Acquire(XactId xid, TableId table, const std::string& key,
 }
 
 void LockTable::ReleaseAll(XactId xid) {
+  std::vector<util::WaitTokenPtr> wake;
   {
     std::lock_guard<std::mutex> l(mu_);
     auto it = held_.find(xid);
@@ -127,15 +219,30 @@ void LockTable::ReleaseAll(XactId xid) {
         Entry& e = lit->second;
         if (e.exclusive == xid) e.exclusive = 0;
         e.sharers.erase(xid);
+        // Wake and deregister every async waiter parked on this key;
+        // each re-issues AcquireAsync and re-registers if still blocked
+        // (stale wait-for edges would otherwise fake deadlock cycles).
+        for (auto& [w, tok] : e.async_waiters) {
+          wake.push_back(tok);
+          async_wait_key_.erase(w);
+          waits_for_.erase(w);
+        }
+        e.async_waiters.clear();
         if (e.exclusive == 0 && e.sharers.empty() && e.waiters == 0) {
           locks_.erase(lit);
         }
       }
       held_.erase(it);
     }
+    // xid itself may be async-parked (session aborted mid-wait).
+    DeregisterAsyncLocked(xid);
     waits_for_.erase(xid);
   }
   cv_.notify_all();
+  // Tokens signaled outside mu_: callbacks (net-server requeue) must
+  // never run under the lock-table mutex (lock order: token cb may take
+  // the server run-queue mutex, never the reverse).
+  for (auto& t : wake) t->Signal();
 }
 
 size_t LockTable::LockedKeyCount() const {

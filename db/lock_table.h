@@ -26,6 +26,7 @@
 
 #include "util/status.h"
 #include "util/types.h"
+#include "util/wait_token.h"
 
 namespace pgssi {
 
@@ -39,6 +40,21 @@ class LockTable {
   Status Acquire(XactId xid, TableId table, const std::string& key, Mode mode,
                  uint64_t timeout_us, uint64_t check_interval_us);
 
+  /// Non-blocking grant-or-register: grants immediately when possible,
+  /// otherwise registers `token` as an async waiter on the key and
+  /// returns kWouldBlock. The token is signaled (once) when a holder
+  /// releases the key — a wake is permission to retry AcquireAsync, not
+  /// a grant. Deadlocks are checked at registration time: if the caller
+  /// is the cycle victim it fails immediately; if another *parked async*
+  /// xact is the victim, that xact's token is signaled so it wakes,
+  /// retries, and discovers its own victimhood (blocked threads in the
+  /// blocking path re-check on their own wakeup ticks). Callers enforce
+  /// their own lock-wait deadline by passing `timed_out`, which converts
+  /// a would-block into a serialization failure.
+  Status AcquireAsync(XactId xid, TableId table, const std::string& key,
+                      Mode mode, bool timed_out,
+                      const util::WaitTokenPtr& token);
+
   void ReleaseAll(XactId xid);
 
   size_t LockedKeyCount() const;
@@ -48,20 +64,34 @@ class LockTable {
     XactId exclusive = 0;
     std::unordered_set<XactId> sharers;
     int waiters = 0;
+    // Parked sessions (one op in flight per session, so at most one
+    // registration per xid engine-wide, tracked in async_wait_key_).
+    std::unordered_map<XactId, util::WaitTokenPtr> async_waiters;
   };
   using Key = std::pair<TableId, std::string>;
 
   bool CanGrant(const Entry& e, XactId xid, Mode mode) const;
   // Blockers of `xid` on entry `e` right now.
   void Blockers(const Entry& e, XactId xid, std::vector<XactId>* out) const;
-  // True if `self` is on a wait-for cycle AND is the cycle's chosen victim.
-  bool IsDeadlockVictim(XactId self) const;
+  // Victim xid of the wait-for cycle through `self`, or 0 if `self` is
+  // not on any cycle. Every member of a deadlock computes the same
+  // victim (max xid of the strongly connected component).
+  XactId CycleVictim(XactId self) const;
+  bool IsDeadlockVictim(XactId self) const {
+    return CycleVictim(self) == self;
+  }
+  // Removes xid's async registration (entry waiter slot + index + wait
+  // edges). Caller holds mu_.
+  void DeregisterAsyncLocked(XactId xid);
+  void MaybeEraseLocked(const Key& k);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<Key, Entry> locks_;
   std::unordered_map<XactId, std::vector<Key>> held_;
   std::unordered_map<XactId, std::vector<XactId>> waits_for_;
+  // xid -> key it is async-parked on (at most one per xid).
+  std::unordered_map<XactId, Key> async_wait_key_;
 };
 
 }  // namespace pgssi

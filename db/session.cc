@@ -1,0 +1,82 @@
+#include "db/session.h"
+
+namespace pgssi {
+
+Session::~Session() { (void)Abort(); }
+
+Status Session::TryBegin(const TxnOptions& opts) {
+  if (in_txn()) {
+    return Status::InvalidArgument("transaction already open");
+  }
+  if (!begin_pending()) {
+    // Fresh begin. A finished txn handle (committed/aborted) is simply
+    // replaced.
+    txn_.reset(new Transaction(db_, opts));
+  }
+  // (Resumed TryBegin keeps the caller's original options: the pending
+  // DEFERRABLE state lives inside the existing handle.)
+  return txn_->Start(/*non_blocking=*/true);
+}
+
+Status Session::Precheck() {
+  if (begin_pending()) {
+    return Status::InvalidArgument("begin still pending (re-call TryBegin)");
+  }
+  if (!in_txn()) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  return Status::OK();
+}
+
+Status Session::TryGet(TableId table, const std::string& key,
+                       std::string* value) {
+  Status st = Precheck();
+  return st.ok() ? txn_->Get(table, key, value) : st;
+}
+
+Status Session::TryPut(TableId table, const std::string& key,
+                       const std::string& value) {
+  Status st = Precheck();
+  return st.ok() ? txn_->Put(table, key, value) : st;
+}
+
+Status Session::TryInsert(TableId table, const std::string& key,
+                          const std::string& value) {
+  Status st = Precheck();
+  return st.ok() ? txn_->Insert(table, key, value) : st;
+}
+
+Status Session::TryDelete(TableId table, const std::string& key) {
+  Status st = Precheck();
+  return st.ok() ? txn_->Delete(table, key) : st;
+}
+
+Status Session::TryScan(TableId table, const std::string& lo,
+                        const std::string& hi,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  Status st = Precheck();
+  return st.ok() ? txn_->Scan(table, lo, hi, out) : st;
+}
+
+Status Session::TryCount(TableId table, const std::string& lo,
+                         const std::string& hi, uint64_t* n) {
+  Status st = Precheck();
+  return st.ok() ? txn_->Count(table, lo, hi, n) : st;
+}
+
+Status Session::TryCommit() {
+  Status st = Precheck();
+  return st.ok() ? txn_->Commit() : st;
+}
+
+Status Session::Abort() {
+  if (!txn_) return Status::OK();
+  // Covers all three states: open (rolls back), mid-begin (deregisters
+  // the pending DEFERRABLE xid via the !started_ path), finished
+  // (no-op). A parked lock wait deregisters inside ReleaseAll.
+  Status st = txn_->Abort();
+  txn_.reset();
+  return st;
+}
+
+}  // namespace pgssi

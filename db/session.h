@@ -1,0 +1,107 @@
+// Session: a detachable, non-blocking transaction handle.
+//
+// A Transaction is a thread-bound blocking handle; a Session wraps one
+// in a *step API* — every call either completes immediately or returns
+// kWouldBlock without suspending the calling thread. That is what lets
+// the net server multiplex thousands of sessions over a handful of
+// workers: a worker that hits kWouldBlock parks the session (on the
+// accompanying wait token, or on a deadline poll when wait_token() is
+// null) and picks up another session; ANY thread may later re-issue the
+// same call — sessions are not pinned to the thread that created them.
+//
+// Step contract:
+//  - On kWouldBlock, re-issue the *same* call with the same arguments
+//    once wait_token() fires (or after retry_interval_us()). Every
+//    would-block site in the engine sits BEFORE the operation's first
+//    mutation, epoch pin, or latch, so re-issuing is always safe: row
+//    locks already granted are simply re-entered, and out-parameters
+//    are reset by the retried call.
+//  - A wake is permission to retry, not a grant — the retry may
+//    would-block again on a fresh token.
+//  - Suspended sessions hold NO epoch pin and NO latch (pins are
+//    function-scoped and taken only after all blocking acquisition
+//    points — the "pins never across blocking waits" rule extends to
+//    suspension). They DO hold their granted row locks (2PL requires
+//    it); the wait-for graph covers deadlocks among parked sessions.
+//  - Any non-would-block error from a step means the statement aborted
+//    the transaction (exactly like the blocking API); the session is
+//    then idle and a new TryBegin starts fresh.
+//  - Abort() never blocks and is always legal.
+//
+// A Session is NOT internally synchronized: callers must serialize
+// steps on a session (the net server's per-connection scheduling state
+// guarantees single-worker execution; a session is never stepped by two
+// threads at once).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/transaction_handle.h"
+#include "util/wait_token.h"
+
+namespace pgssi {
+
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db) {}
+  /// Aborts any open (or mid-begin) transaction.
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Opens a transaction. kWouldBlock only for DEFERRABLE begins that
+  /// must wait out concurrent read-write serializable transactions
+  /// (wait_token() is null for those — deadline-poll); re-call TryBegin
+  /// to resume.
+  Status TryBegin(const TxnOptions& opts = {});
+
+  Status TryGet(TableId table, const std::string& key, std::string* value);
+  Status TryPut(TableId table, const std::string& key,
+                const std::string& value);
+  Status TryInsert(TableId table, const std::string& key,
+                   const std::string& value);
+  Status TryDelete(TableId table, const std::string& key);
+  Status TryScan(TableId table, const std::string& lo, const std::string& hi,
+                 std::vector<std::pair<std::string, std::string>>* out);
+  Status TryCount(TableId table, const std::string& lo, const std::string& hi,
+                  uint64_t* n);
+  /// kWouldBlock at most once per commit, when a WAL group fsync is in
+  /// flight (the commit gate); the retried commit runs to completion.
+  Status TryCommit();
+  /// Never blocks; idempotent.
+  Status Abort();
+
+  /// Begun and neither committed nor aborted (false while a DEFERRABLE
+  /// begin is still pending).
+  bool in_txn() const {
+    return txn_ != nullptr && txn_->started_ && !txn_->finished_;
+  }
+  bool begin_pending() const {
+    return txn_ != nullptr && !txn_->started_ && !txn_->finished_;
+  }
+  XactId xid() const { return txn_ ? txn_->xid() : kInvalidXact; }
+
+  /// Wake-up source for the most recent kWouldBlock; null means there
+  /// is no event source — poll at retry_interval_us(). Valid until the
+  /// next step call.
+  util::WaitTokenPtr wait_token() const {
+    return txn_ ? txn_->wait_token_ : nullptr;
+  }
+  /// Backstop/poll interval for parked sessions: bounds deadlock- and
+  /// deadline-detection latency even when a token never fires.
+  uint64_t retry_interval_us() const {
+    return db_->options().engine.deadlock_check_interval_us;
+  }
+
+ private:
+  // Shared precheck for every post-begin step.
+  Status Precheck();
+
+  Database* db_;
+  std::unique_ptr<Transaction> txn_;
+};
+
+}  // namespace pgssi

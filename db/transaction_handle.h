@@ -30,6 +30,7 @@
 #include "util/epoch.h"
 #include "util/status.h"
 #include "util/striped_latch.h"
+#include "util/wait_token.h"
 #include "util/wp_shared_mutex.h"
 #include "util/types.h"
 #include "wal/wal_recovery.h"
@@ -38,9 +39,17 @@
 namespace pgssi {
 
 class Transaction;
+class Session;
 
 class Database {
  public:
+  /// Destruction contract: the owner must ensure no Transaction or
+  /// Session outlives the Database (the net server drains its sessions
+  /// in Stop() before the Database dies). ~Database then quiesces the
+  /// epoch limbo and closes the WAL explicitly, so every subsystem that
+  /// retires memory through the EpochManager (first member, destroyed
+  /// last) tears down while the manager is still fully alive.
+  ///
   /// With EngineConfig::wal_enabled, Open runs crash recovery first:
   /// scan wal_dir/wal.log up to the first torn/CRC-failing record,
   /// rebuild tables + tuple chains + index from the committed prefix
@@ -83,6 +92,16 @@ class Database {
   size_t SireadPageLockCount() const { return siread_.PageLockCount(); }
   /// Commit watermark (recovery restarts it past the recovered log).
   uint64_t LastCommittedSeq() const { return txn_mgr_.LastCommittedSeq(); }
+  /// Smallest snapshot among active transactions (UINT64_MAX when none):
+  /// what a slow/stalled wire session pins — the slow-client test
+  /// asserts a parked session stretches this exactly like an embedded
+  /// transaction would.
+  uint64_t OldestActiveSnapshot() const {
+    return txn_mgr_.OldestActiveSnapshot();
+  }
+  /// Distinct keys currently held or waited on in the row-lock table
+  /// (drains to 0 after every session finishes — shutdown regressions).
+  size_t RowLockCount() const { return row_locks_.LockedKeyCount(); }
   /// fsyncs issued by the WAL writer (0 when WAL is disabled) — the
   /// bench's fsyncs-per-commit metric and the group-commit regressions.
   uint64_t WalFsyncCount() const { return wal_ ? wal_->fsync_count() : 0; }
@@ -110,6 +129,7 @@ class Database {
 
  private:
   friend class Transaction;
+  friend class Session;
 
   struct Version {
     std::string value;
@@ -302,7 +322,17 @@ class Transaction {
 
  private:
   friend class Database;
+  friend class Session;
   Transaction(Database* db, const TxnOptions& opts);
+
+  /// Runs the Begin work (snapshot, registration, DEFERRABLE safe-
+  /// snapshot machinery). Blocking callers (Database::Begin) pass
+  /// non_blocking=false and always get kOk. Sessions pass true: a
+  /// DEFERRABLE begin that must wait out concurrent rw transactions
+  /// returns kWouldBlock with the pending state parked in def_* members
+  /// — re-calling Start resumes the state machine. Idempotent once
+  /// started.
+  Status Start(bool non_blocking);
 
   struct WriteRec {
     TableId table;
@@ -314,6 +344,16 @@ class Transaction {
 
   Status CheckActive();
   void AbortInternal();
+  /// All five row-lock call sites funnel through here. Blocking mode
+  /// wraps LockTable::Acquire unchanged. Non-blocking mode (sessions)
+  /// uses AcquireAsync: on conflict it parks a fresh WaitToken in
+  /// wait_token_ and returns kWouldBlock — crucially BEFORE any
+  /// mutation, epoch pin, or latch is taken, so the caller can simply
+  /// re-issue the same operation after the token fires (Acquire is
+  /// re-entrant; already-granted locks are kept). The lock-wait
+  /// deadline spans suspensions via wait_started_us_.
+  Status AcquireRowLock(TableId table, const std::string& key,
+                        LockTable::Mode mode);
   // Serializes this transaction's write set into a kCommit payload (seq
   // left as a placeholder; *seq_offset feeds wal::PatchCommitSeq inside
   // the stamp callback, where the seq finally exists).
@@ -348,6 +388,24 @@ class Transaction {
   ssi::SerializableXact* sxact_ = nullptr;
   bool finished_ = false;
   std::vector<WriteRec> writes_;
+
+  // ----- non-blocking session mode (db/session.h) -----
+  bool non_blocking_ = false;
+  bool started_ = false;
+  // Token for the most recent kWouldBlock (null => no wakeup source;
+  // the caller deadline-polls, e.g. DEFERRABLE begin waits).
+  util::WaitTokenPtr wait_token_;
+  // First would-block instant of the currently-retried operation; the
+  // lock-wait timeout is enforced against it across suspensions. Reset
+  // on every successful lock acquisition batch completion (op finishes).
+  uint64_t wait_started_us_ = 0;
+  // The WAL commit gate parks at most once per commit (see Commit).
+  bool commit_gate_waited_ = false;
+  // DEFERRABLE resumable state: a begun-but-unproven snapshot waiting
+  // out def_concurrent_.
+  bool def_pending_ = false;
+  txn::TxnManager::BeginResult def_begin_{};
+  std::vector<XactId> def_concurrent_;
 };
 
 }  // namespace pgssi

@@ -1,0 +1,273 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pgssi::net {
+
+WireClient::~WireClient() { Close(); }
+
+Status WireClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return Status::IOError("connect: " + std::string(std::strerror(err)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WireClient::WriteAll(const char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd_, p, n);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Status::IOError("write: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WireClient::ReadAll(char* p, size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd_, p, n);
+    if (r > 0) {
+      p += r;
+      n -= static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) return Status::IOError("connection closed by server");
+    return Status::IOError("read: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WireClient::Call(const Request& req, std::string* payload) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  const std::string frame = EncodeRequest(req);
+  Status st = WriteAll(frame.data(), frame.size());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  char lenbuf[4];
+  st = ReadAll(lenbuf, 4);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, lenbuf, 4);
+  if (len == 0 || len > kMaxFrameBytes) {
+    Close();
+    return Status::IOError("bad response frame length");
+  }
+  std::string body(len, '\0');
+  st = ReadAll(body.data(), len);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  const uint8_t code = static_cast<uint8_t>(body[0]);
+  std::string rest = body.substr(1);
+  if (code == static_cast<uint8_t>(Code::kOk)) {
+    if (payload) *payload = std::move(rest);
+    return Status::OK();
+  }
+  return StatusFromWire(code, std::move(rest));
+}
+
+Status WireClient::Ping() {
+  Request r;
+  r.op = Op::kPing;
+  return Call(r, nullptr);
+}
+
+Status WireClient::CreateTable(const std::string& name, TableId* id) {
+  Request r;
+  r.op = Op::kCreateTable;
+  r.name = name;
+  std::string payload;
+  Status st = Call(r, &payload);
+  // The server folds kAlreadyExists into kOk-with-id (open-or-create),
+  // so any OK response carries the id.
+  if (st.ok() && id) {
+    Reader rd(payload);
+    *id = rd.U32();
+    if (!rd.ok) return Status::Internal("short CreateTable response");
+  }
+  return st;
+}
+
+Status WireClient::OpenTable(const std::string& name, TableId* id) {
+  Request r;
+  r.op = Op::kOpenTable;
+  r.name = name;
+  std::string payload;
+  Status st = Call(r, &payload);
+  if (st.ok() && id) {
+    Reader rd(payload);
+    *id = rd.U32();
+    if (!rd.ok) return Status::Internal("short OpenTable response");
+  }
+  return st;
+}
+
+Status WireClient::Begin(const TxnOptions& opts) {
+  return Call(BeginRequest(opts), nullptr);
+}
+
+Status WireClient::Get(TableId table, const std::string& key,
+                       std::string* value) {
+  Request r;
+  r.op = Op::kGet;
+  r.table = table;
+  r.key = key;
+  return Call(r, value);
+}
+
+Status WireClient::Put(TableId table, const std::string& key,
+                       const std::string& value) {
+  Request r;
+  r.op = Op::kPut;
+  r.table = table;
+  r.key = key;
+  r.value = value;
+  return Call(r, nullptr);
+}
+
+Status WireClient::Insert(TableId table, const std::string& key,
+                          const std::string& value) {
+  Request r;
+  r.op = Op::kInsert;
+  r.table = table;
+  r.key = key;
+  r.value = value;
+  return Call(r, nullptr);
+}
+
+Status WireClient::Delete(TableId table, const std::string& key) {
+  Request r;
+  r.op = Op::kDelete;
+  r.table = table;
+  r.key = key;
+  return Call(r, nullptr);
+}
+
+Status WireClient::Scan(TableId table, const std::string& lo,
+                        const std::string& hi,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  Request r;
+  r.op = Op::kScan;
+  r.table = table;
+  r.key = lo;
+  r.value = hi;
+  std::string payload;
+  Status st = Call(r, &payload);
+  if (!st.ok()) return st;
+  Reader rd(payload);
+  const uint32_t n = rd.U32();
+  if (out) out->clear();
+  for (uint32_t i = 0; i < n && rd.ok; i++) {
+    std::string k = rd.Str16();
+    std::string v = rd.Str32();
+    if (rd.ok && out) out->emplace_back(std::move(k), std::move(v));
+  }
+  if (!rd.ok) return Status::Internal("malformed Scan response");
+  return Status::OK();
+}
+
+Status WireClient::Count(TableId table, const std::string& lo,
+                         const std::string& hi, uint64_t* n) {
+  Request r;
+  r.op = Op::kCount;
+  r.table = table;
+  r.key = lo;
+  r.value = hi;
+  std::string payload;
+  Status st = Call(r, &payload);
+  if (st.ok() && n) {
+    Reader rd(payload);
+    *n = rd.U64();
+    if (!rd.ok) return Status::Internal("short Count response");
+  }
+  return st;
+}
+
+Status WireClient::Commit() {
+  Request r;
+  r.op = Op::kCommit;
+  return Call(r, nullptr);
+}
+
+Status WireClient::Abort() {
+  Request r;
+  r.op = Op::kAbort;
+  return Call(r, nullptr);
+}
+
+// ----- WireDbClient -----
+
+WireClient* WireDbClient::Conn() {
+  const std::thread::id me = std::this_thread::get_id();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = conns_.find(me);
+    if (it != conns_.end()) return it->second.get();
+  }
+  auto c = std::make_unique<WireClient>();
+  if (!c->Connect(host_, port_).ok()) return nullptr;
+  std::lock_guard<std::mutex> l(mu_);
+  return conns_.emplace(me, std::move(c)).first->second.get();
+}
+
+Status WireDbClient::CreateTable(const std::string& name, TableId* id) {
+  WireClient* c = Conn();
+  if (!c) return Status::IOError("connect to " + host_ + " failed");
+  return c->CreateTable(name, id);  // server folds AlreadyExists into OK+id
+}
+
+TableId WireDbClient::GetTableId(const std::string& name) {
+  WireClient* c = Conn();
+  if (!c) return kInvalidTable;
+  TableId id = kInvalidTable;
+  if (!c->OpenTable(name, &id).ok()) return kInvalidTable;
+  return id;
+}
+
+std::unique_ptr<workload::DbTxn> WireDbClient::Begin(const TxnOptions& opts) {
+  WireClient* c = Conn();
+  if (!c) return nullptr;
+  if (!c->Begin(opts).ok()) return nullptr;
+  return std::make_unique<WireTxn>(c);
+}
+
+}  // namespace pgssi::net

@@ -1,0 +1,144 @@
+// Blocking wire client for the session server.
+//
+// WireClient owns one TCP connection = one server-side session. It is a
+// simple one-outstanding-RPC client: Call() writes a request frame,
+// then blocks reading exactly one response frame (the server answers in
+// request order, and a parked session simply delays the response — the
+// client never sees kWouldBlock). NOT thread-safe; one thread per
+// client, which is exactly the shape the workload drivers use to put
+// many connections over few server workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/config.h"
+#include "net/wire.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "workload/client.h"
+
+namespace pgssi::net {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One RPC: sends `req`, blocks for the matching response. On success
+  /// `*payload` holds the op-specific result bytes; on engine error the
+  /// returned Status carries the server's code and message. An IOError
+  /// means the connection is dead (Close()d as a side effect).
+  Status Call(const Request& req, std::string* payload);
+
+  // ----- typed convenience wrappers -----
+  Status Ping();
+  /// Open-or-create: sets `*id` on both kOk and kAlreadyExists.
+  Status CreateTable(const std::string& name, TableId* id);
+  Status OpenTable(const std::string& name, TableId* id);
+  Status Begin(const TxnOptions& opts = {});
+  Status Get(TableId table, const std::string& key, std::string* value);
+  Status Put(TableId table, const std::string& key, const std::string& value);
+  Status Insert(TableId table, const std::string& key,
+                const std::string& value);
+  Status Delete(TableId table, const std::string& key);
+  Status Scan(TableId table, const std::string& lo, const std::string& hi,
+              std::vector<std::pair<std::string, std::string>>* out);
+  Status Count(TableId table, const std::string& lo, const std::string& hi,
+               uint64_t* n);
+  Status Commit();
+  Status Abort();
+
+ private:
+  Status WriteAll(const char* p, size_t n);
+  Status ReadAll(char* p, size_t n);
+
+  int fd_ = -1;
+};
+
+// ----- workload::DbClient over the wire -----
+
+/// One server-side transaction on a borrowed connection. Destruction
+/// sends kAbort unless Commit/Abort was called (matching EmbeddedTxn).
+class WireTxn final : public workload::DbTxn {
+ public:
+  explicit WireTxn(WireClient* c) : c_(c) {}
+  ~WireTxn() override {
+    if (!finished_ && c_->connected()) (void)c_->Abort();
+  }
+
+  Status Get(TableId table, const std::string& key,
+             std::string* value) override {
+    return c_->Get(table, key, value);
+  }
+  Status Put(TableId table, const std::string& key,
+             const std::string& value) override {
+    return c_->Put(table, key, value);
+  }
+  Status Insert(TableId table, const std::string& key,
+                const std::string& value) override {
+    return c_->Insert(table, key, value);
+  }
+  Status Delete(TableId table, const std::string& key) override {
+    return c_->Delete(table, key);
+  }
+  Status Scan(TableId table, const std::string& lo, const std::string& hi,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return c_->Scan(table, lo, hi, out);
+  }
+  Status Count(TableId table, const std::string& lo, const std::string& hi,
+               uint64_t* n) override {
+    return c_->Count(table, lo, hi, n);
+  }
+  Status Commit() override {
+    finished_ = true;
+    return c_->Commit();
+  }
+  Status Abort() override {
+    finished_ = true;
+    return c_->Abort();
+  }
+
+ private:
+  WireClient* c_;
+  bool finished_ = false;
+};
+
+/// Connection-per-driver-thread wire client: every thread that calls
+/// Begin/CreateTable/GetTableId gets its own lazily-opened connection
+/// (= its own server-side session), so a driver with 32 threads puts 32
+/// connections over however few workers the server runs.
+class WireDbClient final : public workload::DbClient {
+ public:
+  WireDbClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  Status CreateTable(const std::string& name, TableId* id) override;
+  TableId GetTableId(const std::string& name) override;
+  /// Null if the connection cannot be established or Begin fails on the
+  /// wire.
+  std::unique_ptr<workload::DbTxn> Begin(const TxnOptions& opts) override;
+
+ private:
+  // This thread's connection, opened on first use (null on failure).
+  WireClient* Conn();
+
+  std::string host_;
+  uint16_t port_;
+  std::mutex mu_;
+  std::unordered_map<std::thread::id, std::unique_ptr<WireClient>> conns_;
+};
+
+}  // namespace pgssi::net

@@ -1,6 +1,7 @@
 #include "txn/txn_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <thread>
 
@@ -107,6 +108,13 @@ uint64_t TxnManager::Commit(XactId xid,
     // On CAS failure `w` reloaded: another publisher advanced; continue
     // from wherever the watermark is now.
   }
+  // If the watermark moved, wake any committer parked behind a slow
+  // predecessor. The atomic waiter count keeps the uncontended path
+  // (nobody waiting — the overwhelmingly common case) mutex-free.
+  if (publish_waiters_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> l(publish_mu_);
+    publish_cv_.notify_all();
+  }
 
   // Do not return (or deregister) until our own seq is published. The
   // safe-snapshot and DEFERRABLE machinery relies on "absent from the
@@ -114,10 +122,21 @@ uint64_t TxnManager::Commit(XactId xid,
   // with the seq unpublished would let a read-only Begin take a snapshot
   // S < seq, see no active read-write transaction, and wrongly mark the
   // snapshot safe while this (concurrent, committed) transaction may
-  // carry a dangerous out-edge. Only spins while a PREDECESSOR is still
-  // inside stamp(); the gap-closer publishes for the whole batch.
-  while (last_committed_seq_.load(std::memory_order_acquire) < seq) {
-    std::this_thread::yield();
+  // carry a dangerous out-edge. Only waits while a PREDECESSOR is still
+  // inside stamp() (e.g. behind a slow WAL group fsync); the gap-closer
+  // publishes for the whole batch. Bounded condvar wait rather than the
+  // old spin-yield: a spinning worker would starve session multiplexing
+  // when workers are scarce, and the wait_for bound (re-check every
+  // 100us) recovers from the benign lost-wakeup race between our count
+  // increment and a publisher's count check.
+  if (last_committed_seq_.load(std::memory_order_acquire) < seq) {
+    publish_waiters_.fetch_add(1, std::memory_order_acq_rel);
+    std::unique_lock<std::mutex> l(publish_mu_);
+    while (last_committed_seq_.load(std::memory_order_acquire) < seq) {
+      publish_cv_.wait_for(l, std::chrono::microseconds(100));
+    }
+    l.unlock();
+    publish_waiters_.fetch_sub(1, std::memory_order_acq_rel);
   }
 
   Deregister(xid);
@@ -185,6 +204,15 @@ void TxnManager::WaitForFinish(const std::vector<XactId>& xids) {
     std::unique_lock<std::mutex> l(sh.mu);
     sh.finished_cv.wait(l, [&] { return sh.active.count(x) == 0; });
   }
+}
+
+bool TxnManager::AnyActive(const std::vector<XactId>& xids) const {
+  for (XactId x : xids) {
+    Shard& sh = ShardFor(x);
+    std::lock_guard<std::mutex> l(sh.mu);
+    if (sh.active.count(x)) return true;
+  }
+  return false;
 }
 
 }  // namespace pgssi::txn

@@ -95,6 +95,9 @@ class TxnManager {
   }
   /// Blocks until none of `xids` is active.
   void WaitForFinish(const std::vector<XactId>& xids);
+  /// Non-blocking probe used by the DEFERRABLE session state machine:
+  /// true while any of `xids` is still registered.
+  bool AnyActive(const std::vector<XactId>& xids) const;
 
   uint64_t next_xid() const {
     return next_xid_.load(std::memory_order_relaxed);
@@ -150,6 +153,13 @@ class TxnManager {
   // reclaimed when the watermark passes them.
   std::array<std::atomic<uint64_t>, kCommitRing> ring_{};
   mutable std::array<Shard, kShards> shards_;
+  // Watermark-wait rendezvous: a committer whose predecessor is still
+  // inside stamp() (e.g. behind a slow WAL fsync) parks here instead of
+  // spin-yielding (see Commit). publish_waiters_ lets publishers skip
+  // the mutex entirely on the no-waiter fast path.
+  std::mutex publish_mu_;
+  std::condition_variable publish_cv_;
+  std::atomic<int64_t> publish_waiters_{0};
 };
 
 }  // namespace pgssi::txn

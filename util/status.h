@@ -19,6 +19,12 @@ enum class Code {
   kBusy,
   kIOError,
   kInternal,
+  // Non-blocking session API only (db/session.h): the operation cannot
+  // complete without waiting (row-lock conflict, WAL fsync in flight,
+  // DEFERRABLE safe-snapshot wait). Nothing failed — re-issue the same
+  // call when the accompanying WaitToken signals. Never sent on the
+  // wire; the net server parks the session instead.
+  kWouldBlock,
 };
 
 class Status {
@@ -49,6 +55,9 @@ class Status {
   static Status Internal(std::string m) {
     return Status(Code::kInternal, std::move(m));
   }
+  static Status WouldBlock(std::string m = "would block") {
+    return Status(Code::kWouldBlock, std::move(m));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -56,6 +65,7 @@ class Status {
   bool IsSerializationFailure() const {
     return code_ == Code::kSerializationFailure;
   }
+  bool IsWouldBlock() const { return code_ == Code::kWouldBlock; }
 
   std::string ToString() const {
     switch (code_) {
@@ -75,6 +85,8 @@ class Status {
         return "IOError: " + msg_;
       case Code::kInternal:
         return "Internal: " + msg_;
+      case Code::kWouldBlock:
+        return "WouldBlock: " + msg_;
     }
     return "Unknown";
   }

@@ -182,9 +182,14 @@ Status WalWriter::Sync(uint64_t end_offset, uint32_t batch_target,
   if (r == 0) (void)util::FailpointFires("wal_after_fsync");
   l.lock();
   sync_in_progress_ = false;
+  // Parked sessions are woken on success AND failure — a wake is only
+  // permission to retry the commit; the retry re-runs the full barrier.
+  std::vector<util::WaitTokenPtr> wake;
+  wake.swap(sync_waiters_);
   if (r != 0) {
     l.unlock();
     cv_.notify_all();  // let a follower take over / observe the failure
+    for (auto& t : wake) t->Signal();
     return IoError("wal fsync", err);
   }
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
@@ -194,9 +199,17 @@ Status WalWriter::Sync(uint64_t end_offset, uint32_t batch_target,
   if (target_records > synced_records_) synced_records_ = target_records;
   l.unlock();
   cv_.notify_all();
+  for (auto& t : wake) t->Signal();
   // Our end_offset was appended before we became leader, so the
   // snapshot covered it: end_offset <= target <= durable_.
   return Status::OK();
+}
+
+bool WalWriter::RegisterSyncWaiter(const util::WaitTokenPtr& token) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (!sync_in_progress_) return false;
+  sync_waiters_.push_back(token);
+  return true;
 }
 
 Status WalWriter::AppendCommit(std::string_view payload, uint64_t seq,

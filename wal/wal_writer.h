@@ -47,9 +47,11 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "db/config.h"
 #include "util/status.h"
+#include "util/wait_token.h"
 
 namespace pgssi::wal {
 
@@ -86,6 +88,15 @@ class WalWriter {
   /// Final best-effort fsync + close. Idempotent.
   void Close();
 
+  /// Non-blocking commit-gate probe for the session layer: if a group
+  /// fsync is in flight right now, queues `token` (signaled when that
+  /// fsync completes, success or failure) and returns true — the caller
+  /// should park and retry its commit, by which time the batch it joins
+  /// is fresh. Returns false when no sync is running (nothing to wait
+  /// for; committing now makes this caller the leader). Purely an
+  /// admission hint: correctness never depends on it.
+  bool RegisterSyncWaiter(const util::WaitTokenPtr& token);
+
   uint64_t appended_offset() const {
     return appended_.load(std::memory_order_acquire);
   }
@@ -109,6 +120,9 @@ class WalWriter {
   uint64_t records_ = 0;               // frames appended (mu_)
   uint64_t synced_records_ = 0;        // frames covered by last fsync (mu_)
   bool sync_in_progress_ = false;      // leader election (mu_)
+  // Session-layer tokens parked on the in-progress fsync (mu_); swapped
+  // out and signaled outside mu_ when it completes.
+  std::vector<util::WaitTokenPtr> sync_waiters_;
   std::atomic<bool> failed_{false};    // latched: durability broken
   std::atomic<uint64_t> fsyncs_{0};
 };

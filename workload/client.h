@@ -1,0 +1,116 @@
+// Transport-neutral database access for the workloads.
+//
+// SIBENCH / DBT-2 / RUBiS are written against DbClient/DbTxn so the
+// same transaction bodies run embedded (direct Transaction calls, the
+// historical mode) or as wire clients against a net::Server — which is
+// how the benches measure the network front end with connections far
+// exceeding server workers.
+//
+// Threading contract: DbClient::Begin/CreateTable/GetTableId may be
+// called from many driver threads concurrently; each returned DbTxn is
+// used by its creating thread only, one live txn per thread (the shape
+// every workload driver already has).
+//
+// CreateTable is open-or-create: OK with *id set whether the table was
+// created or already existed (other errors pass through).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/transaction_handle.h"
+
+namespace pgssi::workload {
+
+class DbTxn {
+ public:
+  /// Destruction aborts an unfinished transaction.
+  virtual ~DbTxn() = default;
+
+  virtual Status Get(TableId table, const std::string& key,
+                     std::string* value) = 0;
+  virtual Status Put(TableId table, const std::string& key,
+                     const std::string& value) = 0;
+  virtual Status Insert(TableId table, const std::string& key,
+                        const std::string& value) = 0;
+  virtual Status Delete(TableId table, const std::string& key) = 0;
+  virtual Status Scan(TableId table, const std::string& lo,
+                      const std::string& hi,
+                      std::vector<std::pair<std::string, std::string>>* out) = 0;
+  virtual Status Count(TableId table, const std::string& lo,
+                       const std::string& hi, uint64_t* n) = 0;
+  virtual Status Commit() = 0;
+  virtual Status Abort() = 0;
+};
+
+class DbClient {
+ public:
+  virtual ~DbClient() = default;
+
+  /// Open-or-create; *id is set on success whether created or existing.
+  virtual Status CreateTable(const std::string& name, TableId* id) = 0;
+  virtual TableId GetTableId(const std::string& name) = 0;
+  /// Null only on transport failure (embedded Begin never fails).
+  virtual std::unique_ptr<DbTxn> Begin(const TxnOptions& opts = {}) = 0;
+};
+
+// ----- embedded (in-process) implementation -----
+
+class EmbeddedTxn final : public DbTxn {
+ public:
+  explicit EmbeddedTxn(std::unique_ptr<Transaction> t) : t_(std::move(t)) {}
+  ~EmbeddedTxn() override { (void)t_->Abort(); }
+
+  Status Get(TableId table, const std::string& key,
+             std::string* value) override {
+    return t_->Get(table, key, value);
+  }
+  Status Put(TableId table, const std::string& key,
+             const std::string& value) override {
+    return t_->Put(table, key, value);
+  }
+  Status Insert(TableId table, const std::string& key,
+                const std::string& value) override {
+    return t_->Insert(table, key, value);
+  }
+  Status Delete(TableId table, const std::string& key) override {
+    return t_->Delete(table, key);
+  }
+  Status Scan(TableId table, const std::string& lo, const std::string& hi,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    return t_->Scan(table, lo, hi, out);
+  }
+  Status Count(TableId table, const std::string& lo, const std::string& hi,
+               uint64_t* n) override {
+    return t_->Count(table, lo, hi, n);
+  }
+  Status Commit() override { return t_->Commit(); }
+  Status Abort() override { return t_->Abort(); }
+
+ private:
+  std::unique_ptr<Transaction> t_;
+};
+
+class EmbeddedClient final : public DbClient {
+ public:
+  explicit EmbeddedClient(Database* db) : db_(db) {}
+
+  Status CreateTable(const std::string& name, TableId* id) override {
+    Status st = db_->CreateTable(name, id);
+    if (st.code() == Code::kAlreadyExists) return Status::OK();
+    return st;
+  }
+  TableId GetTableId(const std::string& name) override {
+    return db_->GetTableId(name);
+  }
+  std::unique_ptr<DbTxn> Begin(const TxnOptions& opts) override {
+    return std::make_unique<EmbeddedTxn>(db_->Begin(opts));
+  }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace pgssi::workload

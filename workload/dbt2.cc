@@ -22,25 +22,24 @@ std::string SKey(uint32_t w, uint32_t i) {
 }
 }  // namespace
 
-Dbt2::Dbt2(Database* db, const Dbt2Config& cfg) : db_(db), cfg_(cfg) {}
+Dbt2::Dbt2(DbClient* client, const Dbt2Config& cfg)
+    : client_(client), cfg_(cfg) {}
+
+Dbt2::Dbt2(Database* db, const Dbt2Config& cfg)
+    : owned_(std::make_unique<EmbeddedClient>(db)),
+      client_(owned_.get()),
+      cfg_(cfg) {}
 
 Status Dbt2::Load() {
   Status st;
-  if (!(st = db_->CreateTable("warehouse", &warehouse_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
-  if (!(st = db_->CreateTable("district", &district_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
-  if (!(st = db_->CreateTable("stock", &stock_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
-  if (!(st = db_->CreateTable("orders", &orders_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
+  if (!(st = client_->CreateTable("warehouse", &warehouse_)).ok()) return st;
+  if (!(st = client_->CreateTable("district", &district_)).ok()) return st;
+  if (!(st = client_->CreateTable("stock", &stock_)).ok()) return st;
+  if (!(st = client_->CreateTable("orders", &orders_)).ok()) return st;
 
   for (uint32_t w = 1; w <= cfg_.warehouses; w++) {
-    auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+    auto txn = client_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+    if (!txn) return Status::IOError("begin failed");
     st = txn->Put(warehouse_, WKey(w), "ytd=0");
     if (!st.ok()) return st;
     for (uint32_t d = 1; d <= cfg_.districts_per_warehouse; d++) {
@@ -57,13 +56,18 @@ Status Dbt2::Load() {
   return Status::OK();
 }
 
-Status Dbt2::RunOne(Random& rng) {
-  return rng.Bernoulli(cfg_.read_only_fraction) ? RunStockLevel(rng)
-                                                : RunNewOrder(rng);
+Status Dbt2::RunOne(Random& rng, int* cls) {
+  if (rng.Bernoulli(cfg_.read_only_fraction)) {
+    if (cls) *cls = kStockLevel;
+    return RunStockLevel(rng);
+  }
+  if (cls) *cls = kNewOrder;
+  return RunNewOrder(rng);
 }
 
 Status Dbt2::RunNewOrder(Random& rng) {
-  auto txn = db_->Begin({.isolation = cfg_.isolation});
+  auto txn = client_->Begin({.isolation = cfg_.isolation});
+  if (!txn) return Status::IOError("begin failed");
   const uint32_t w = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.warehouses));
   const uint32_t d =
       1 + static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));
@@ -113,7 +117,8 @@ Status Dbt2::RunNewOrder(Random& rng) {
 }
 
 Status Dbt2::RunStockLevel(Random& rng) {
-  auto txn = db_->Begin({.isolation = cfg_.isolation, .read_only = true});
+  auto txn = client_->Begin({.isolation = cfg_.isolation, .read_only = true});
+  if (!txn) return Status::IOError("begin failed");
   const uint32_t w = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.warehouses));
   const uint32_t d =
       1 + static_cast<uint32_t>(rng.Uniform(cfg_.districts_per_warehouse));

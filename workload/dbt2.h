@@ -7,10 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
-#include "db/transaction_handle.h"
 #include "util/random.h"
+#include "workload/client.h"
 
 namespace pgssi::workload {
 
@@ -24,17 +25,26 @@ struct Dbt2Config {
 
 class Dbt2 {
  public:
+  // Transaction-class indices reported by RunOne (per-class bench rows).
+  enum Class : int { kNewOrder = 0, kStockLevel = 1 };
+  static constexpr const char* kClassNames[] = {"new_order", "stock_level"};
+
+  /// Transport-neutral: runs over any DbClient (embedded or wire).
+  Dbt2(DbClient* client, const Dbt2Config& cfg);
+  /// Convenience embedded form (owns the EmbeddedClient).
   Dbt2(Database* db, const Dbt2Config& cfg);
 
   Status Load();
-  /// One transaction from the configured mix.
-  Status RunOne(Random& rng);
+  /// One transaction from the configured mix; `*cls` (optional) reports
+  /// which class ran.
+  Status RunOne(Random& rng, int* cls = nullptr);
 
  private:
   Status RunNewOrder(Random& rng);
   Status RunStockLevel(Random& rng);
 
-  Database* db_;
+  std::unique_ptr<DbClient> owned_;
+  DbClient* client_;
   Dbt2Config cfg_;
   TableId warehouse_ = kInvalidTable;
   TableId district_ = kInvalidTable;

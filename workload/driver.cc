@@ -10,31 +10,59 @@ namespace pgssi::workload {
 
 DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
                               int threads, double seconds) {
+  return RunFixedDurationClassed(
+      [&fn](int i, Random& rng, int* cls) {
+        *cls = -1;  // unclassed
+        return fn(i, rng);
+      },
+      {}, threads, seconds);
+}
+
+DriverResult RunFixedDurationClassed(
+    const std::function<Status(int, Random&, int*)>& fn,
+    const std::vector<std::string>& class_names, int threads, double seconds) {
+  const size_t ncls = class_names.size();
+  const uint64_t start = NowMicros();
+  const uint64_t deadline = start + static_cast<uint64_t>(seconds * 1e6);
+
+  // Per-thread accumulators (no sharing during the run; folded after
+  // the join).
+  struct ThreadStats {
+    Histogram latency;
+    std::vector<ClassResult> classes;
+  };
+  std::vector<ThreadStats> per_thread(static_cast<size_t>(threads));
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> failures{0};
   std::atomic<uint64_t> errors{0};
-  const uint64_t start = NowMicros();
-  const uint64_t deadline =
-      start + static_cast<uint64_t>(seconds * 1e6);
 
-  std::vector<Histogram> latencies(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; i++) {
     workers.emplace_back([&, i] {
       // Each worker owns its Random: the generator is not thread-safe.
       Random rng(0x9E3779B9u * static_cast<uint64_t>(i + 1) + 1);
-      Histogram& lat = latencies[static_cast<size_t>(i)];
+      ThreadStats& ts = per_thread[static_cast<size_t>(i)];
+      ts.classes.resize(ncls);
       while (NowMicros() < deadline) {
         const uint64_t t0 = NowMicros();
-        Status st = fn(i, rng);
-        lat.Add(static_cast<double>(NowMicros() - t0));
+        int cls = -1;
+        Status st = fn(i, rng, &cls);
+        const double lat = static_cast<double>(NowMicros() - t0);
+        ts.latency.Add(lat);
+        ClassResult* cr = (cls >= 0 && static_cast<size_t>(cls) < ncls)
+                              ? &ts.classes[static_cast<size_t>(cls)]
+                              : nullptr;
+        if (cr) cr->latency_us.Add(lat);
         if (st.ok()) {
           committed.fetch_add(1, std::memory_order_relaxed);
+          if (cr) cr->committed++;
         } else if (st.IsSerializationFailure()) {
           failures.fetch_add(1, std::memory_order_relaxed);
+          if (cr) cr->serialization_failures++;
         } else {
           errors.fetch_add(1, std::memory_order_relaxed);
+          if (cr) cr->other_errors++;
         }
       }
     });
@@ -46,7 +74,18 @@ DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
   r.serialization_failures = failures.load();
   r.other_errors = errors.load();
   r.seconds = static_cast<double>(NowMicros() - start) / 1e6;
-  for (const Histogram& h : latencies) r.latency_us.Merge(h);
+  r.classes.resize(ncls);
+  for (size_t c = 0; c < ncls; c++) r.classes[c].name = class_names[c];
+  for (const ThreadStats& ts : per_thread) {
+    r.latency_us.Merge(ts.latency);
+    for (size_t c = 0; c < ncls && c < ts.classes.size(); c++) {
+      r.classes[c].committed += ts.classes[c].committed;
+      r.classes[c].serialization_failures +=
+          ts.classes[c].serialization_failures;
+      r.classes[c].other_errors += ts.classes[c].other_errors;
+      r.classes[c].latency_us.Merge(ts.classes[c].latency_us);
+    }
+  }
   return r;
 }
 

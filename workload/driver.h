@@ -5,12 +5,32 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace pgssi::workload {
+
+// Per-transaction-class slice of a run (e.g. dbt2/new_order): its own
+// commit/abort counts and latency distribution alongside the totals.
+struct ClassResult {
+  std::string name;
+  uint64_t committed = 0;
+  uint64_t serialization_failures = 0;
+  uint64_t other_errors = 0;
+  Histogram latency_us;
+
+  double FailureRate() const {
+    uint64_t attempts = committed + serialization_failures;
+    return attempts > 0
+               ? static_cast<double>(serialization_failures) /
+                     static_cast<double>(attempts)
+               : 0;
+  }
+};
 
 struct DriverResult {
   uint64_t committed = 0;
@@ -20,6 +40,8 @@ struct DriverResult {
   // Per-attempt latency in microseconds (committed and failed attempts
   // alike), folded from per-thread histograms after the run.
   Histogram latency_us;
+  // Filled only by RunFixedDurationClassed, in class-index order.
+  std::vector<ClassResult> classes;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
@@ -38,5 +60,13 @@ struct DriverResult {
 /// kSerializationFailure for an aborted-and-retryable one.
 DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
                               int threads, double seconds);
+
+/// Like RunFixedDuration, but fn also reports which transaction class
+/// it ran (an index into `class_names`, e.g. Dbt2::Class) so the result
+/// carries per-class commit/abort-rate and latency series. A class
+/// index outside [0, class_names.size()) counts toward the totals only.
+DriverResult RunFixedDurationClassed(
+    const std::function<Status(int, Random&, int*)>& fn,
+    const std::vector<std::string>& class_names, int threads, double seconds);
 
 }  // namespace pgssi::workload

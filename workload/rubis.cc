@@ -31,20 +31,21 @@ std::string ClosingKey(uint32_t i, uint64_t epoch) {
 }
 }  // namespace
 
-Rubis::Rubis(Database* db, const RubisConfig& cfg) : db_(db), cfg_(cfg) {}
+Rubis::Rubis(DbClient* client, const RubisConfig& cfg)
+    : client_(client), cfg_(cfg) {}
+
+Rubis::Rubis(Database* db, const RubisConfig& cfg)
+    : owned_(std::make_unique<EmbeddedClient>(db)),
+      client_(owned_.get()),
+      cfg_(cfg) {}
 
 Status Rubis::Load() {
   Status st;
-  if (!(st = db_->CreateTable("items", &items_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
-  if (!(st = db_->CreateTable("bids", &bids_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
-  if (!(st = db_->CreateTable("closings", &closings_)).ok() &&
-      st.code() != Code::kAlreadyExists)
-    return st;
-  auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  if (!(st = client_->CreateTable("items", &items_)).ok()) return st;
+  if (!(st = client_->CreateTable("bids", &bids_)).ok()) return st;
+  if (!(st = client_->CreateTable("closings", &closings_)).ok()) return st;
+  auto txn = client_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  if (!txn) return Status::IOError("begin failed");
   for (uint32_t i = 1; i <= cfg_.items; i++) {
     st = txn->Put(items_, ItemKey(i), "0");  // current epoch
     if (!st.ok()) return st;
@@ -52,15 +53,23 @@ Status Rubis::Load() {
   return txn->Commit();
 }
 
-Status Rubis::RunOne(Random& rng) {
+Status Rubis::RunOne(Random& rng, int* cls) {
   double r = rng.NextDouble();
-  if (r < cfg_.browse_fraction) return RunBrowse(rng);
-  if (r < cfg_.browse_fraction + cfg_.bid_fraction) return RunBid(rng);
+  if (r < cfg_.browse_fraction) {
+    if (cls) *cls = kBrowse;
+    return RunBrowse(rng);
+  }
+  if (r < cfg_.browse_fraction + cfg_.bid_fraction) {
+    if (cls) *cls = kBid;
+    return RunBid(rng);
+  }
+  if (cls) *cls = kClose;
   return RunClose(rng);
 }
 
 Status Rubis::RunBrowse(Random& rng) {
-  auto txn = db_->Begin({.isolation = cfg_.isolation, .read_only = true});
+  auto txn = client_->Begin({.isolation = cfg_.isolation, .read_only = true});
+  if (!txn) return Status::IOError("begin failed");
   const uint32_t item = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.items));
   std::string v;
   Status st = txn->Get(items_, ItemKey(item), &v);
@@ -80,7 +89,8 @@ Status Rubis::RunBrowse(Random& rng) {
 }
 
 Status Rubis::RunBid(Random& rng) {
-  auto txn = db_->Begin({.isolation = cfg_.isolation});
+  auto txn = client_->Begin({.isolation = cfg_.isolation});
+  if (!txn) return Status::IOError("begin failed");
   const uint32_t item = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.items));
   std::string v;
   Status st = txn->Get(items_, ItemKey(item), &v);
@@ -103,7 +113,8 @@ Status Rubis::RunClose(Random& rng) {
   // Close the item's current epoch: record the winning amount, then
   // reopen at the next epoch. Writes (closings, items) are disjoint from
   // a bidder's write (bids) — under SI this races with a concurrent bid.
-  auto txn = db_->Begin({.isolation = cfg_.isolation});
+  auto txn = client_->Begin({.isolation = cfg_.isolation});
+  if (!txn) return Status::IOError("begin failed");
   const uint32_t item = 1 + static_cast<uint32_t>(rng.Uniform(cfg_.items));
   std::string v;
   Status st = txn->Get(items_, ItemKey(item), &v);
@@ -139,7 +150,8 @@ Status Rubis::RunClose(Random& rng) {
 
 Status Rubis::CheckConsistency(bool* ok) {
   if (ok) *ok = true;
-  auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  auto txn = client_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+  if (!txn) return Status::IOError("begin failed");
   std::vector<std::pair<std::string, std::string>> closings;
   Status st = txn->Scan(closings_, "", "\x7f", &closings);
   if (!st.ok()) {

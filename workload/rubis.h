@@ -12,10 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
-#include "db/transaction_handle.h"
 #include "util/random.h"
+#include "workload/client.h"
 
 namespace pgssi::workload {
 
@@ -28,10 +29,19 @@ struct RubisConfig {
 
 class Rubis {
  public:
+  // Transaction-class indices reported by RunOne (per-class bench rows).
+  enum Class : int { kBrowse = 0, kBid = 1, kClose = 2 };
+  static constexpr const char* kClassNames[] = {"browse", "bid", "close"};
+
+  /// Transport-neutral: runs over any DbClient (embedded or wire).
+  Rubis(DbClient* client, const RubisConfig& cfg);
+  /// Convenience embedded form (owns the EmbeddedClient).
   Rubis(Database* db, const RubisConfig& cfg);
 
   Status Load();
-  Status RunOne(Random& rng);
+  /// One transaction from the configured mix; `*cls` (optional) reports
+  /// which class ran.
+  Status RunOne(Random& rng, int* cls = nullptr);
 
   /// Scans every closing record and verifies no bid in that epoch exceeds
   /// the recorded winning amount. *ok=false means SI let an anomaly
@@ -43,7 +53,8 @@ class Rubis {
   Status RunBid(Random& rng);
   Status RunClose(Random& rng);
 
-  Database* db_;
+  std::unique_ptr<DbClient> owned_;
+  DbClient* client_;
   RubisConfig cfg_;
   TableId items_ = kInvalidTable;
   TableId bids_ = kInvalidTable;

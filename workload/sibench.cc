@@ -4,7 +4,13 @@
 
 namespace pgssi::workload {
 
-Sibench::Sibench(Database* db, uint64_t rows) : db_(db), rows_(rows) {}
+Sibench::Sibench(DbClient* client, uint64_t rows)
+    : client_(client), rows_(rows) {}
+
+Sibench::Sibench(Database* db, uint64_t rows)
+    : owned_(std::make_unique<EmbeddedClient>(db)),
+      client_(owned_.get()),
+      rows_(rows) {}
 
 std::string Sibench::KeyFor(uint64_t row) const {
   char buf[20];
@@ -14,11 +20,12 @@ std::string Sibench::KeyFor(uint64_t row) const {
 }
 
 Status Sibench::Load() {
-  Status st = db_->CreateTable("sibench", &table_);
-  if (!st.ok() && st.code() != Code::kAlreadyExists) return st;
+  Status st = client_->CreateTable("sibench", &table_);
+  if (!st.ok()) return st;
   const uint64_t batch = 1000;
   for (uint64_t base = 0; base < rows_; base += batch) {
-    auto txn = db_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+    auto txn = client_->Begin({.isolation = IsolationLevel::kRepeatableRead});
+    if (!txn) return Status::IOError("begin failed");
     for (uint64_t r = base; r < rows_ && r < base + batch; r++) {
       st = txn->Put(table_, KeyFor(r), "0");
       if (!st.ok()) return st;
@@ -30,7 +37,8 @@ Status Sibench::Load() {
 }
 
 Status Sibench::RunUpdate(Random& rng, IsolationLevel iso) {
-  auto txn = db_->Begin({.isolation = iso});
+  auto txn = client_->Begin({.isolation = iso});
+  if (!txn) return Status::IOError("begin failed");
   const std::string key = KeyFor(rng.Uniform(rows_));
   std::string v;
   Status st = txn->Get(table_, key, &v);
@@ -48,7 +56,8 @@ Status Sibench::RunUpdate(Random& rng, IsolationLevel iso) {
 
 Status Sibench::RunQuery(Random& rng, IsolationLevel iso) {
   (void)rng;
-  auto txn = db_->Begin({.isolation = iso, .read_only = true});
+  auto txn = client_->Begin({.isolation = iso, .read_only = true});
+  if (!txn) return Status::IOError("begin failed");
   std::vector<std::pair<std::string, std::string>> rows;
   Status st = txn->Scan(table_, KeyFor(0), KeyFor(rows_), &rows);
   if (!st.ok()) {

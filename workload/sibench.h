@@ -4,15 +4,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
-#include "db/transaction_handle.h"
 #include "util/random.h"
+#include "workload/client.h"
 
 namespace pgssi::workload {
 
 class Sibench {
  public:
+  /// Transport-neutral: runs over any DbClient (embedded or wire).
+  Sibench(DbClient* client, uint64_t rows);
+  /// Convenience embedded form (owns the EmbeddedClient).
   Sibench(Database* db, uint64_t rows);
 
   Status Load();
@@ -29,7 +33,8 @@ class Sibench {
  private:
   std::string KeyFor(uint64_t row) const;
 
-  Database* db_;
+  std::unique_ptr<DbClient> owned_;
+  DbClient* client_;
   uint64_t rows_;
   TableId table_ = kInvalidTable;
 };
