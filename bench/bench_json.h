@@ -65,6 +65,9 @@ inline void AppendClassRows(
     row.p50_us = c.latency_us.Percentile(50);
     row.p99_us = c.latency_us.Percentile(99);
     row.extra = extra;
+    row.extra.emplace_back("retries", static_cast<double>(c.retries));
+    row.extra.emplace_back("overload_refusals",
+                           static_cast<double>(c.overload_refusals));
     rows->push_back(std::move(row));
   }
 }

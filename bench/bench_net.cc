@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
                     std::vector<std::pair<std::string, double>> extra) {
     extra.emplace_back("connections", conns);
     extra.emplace_back("net_workers", workers);
+    extra.emplace_back("retries", static_cast<double>(r.retries));
+    extra.emplace_back("overload_refusals",
+                       static_cast<double>(r.overload_refusals));
     BenchRow row = RowFromDriver(series, conns, r);
     row.extra = extra;
     rows_out.push_back(row);
@@ -156,14 +159,65 @@ int main(int argc, char** argv) {
 
   if (server) {
     const net::Server::Stats s = server->stats();
-    std::printf("# server: accepted=%llu ops=%llu would_blocks=%llu "
-                "read_pauses=%llu write_pauses=%llu\n",
+    std::printf("# server: accepted=%llu refused=%llu ops=%llu "
+                "would_blocks=%llu read_pauses=%llu write_pauses=%llu\n",
                 static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.refused),
                 static_cast<unsigned long long>(s.ops_executed),
                 static_cast<unsigned long long>(s.would_blocks),
                 static_cast<unsigned long long>(s.read_pauses),
                 static_cast<unsigned long long>(s.write_pauses));
     server->Stop();
+    server.reset();
+  }
+
+  // ----- Degradation: undersized admission under retrying clients -----
+  // A fresh server capped well below the offered connection count, so a
+  // fraction of Begins bounce off admission control with kOverloaded.
+  // Clients honor the retry-after hint and back off; the row shows what
+  // throughput survives plus how many refusals/retries it cost.
+  if (have_embedded) {
+    const int offered = 16;
+    net::ServerOptions so;
+    so.workers = workers;
+    so.max_sessions = 6;  // driver threads churn conns against this cap
+    net::Server small(db.get(), so);
+    Status st = small.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "undersized server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    net::WireDbClient wire(host, small.port());
+    Sibench bench(&wire, 100);
+    st = bench.Load();
+    if (!st.ok()) {
+      std::fprintf(stderr, "sibench degraded load: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    RetryPolicy retry;
+    retry.max_attempts = 8;
+    retry.retry_io_errors = true;  // refused conns surface as IOError too
+    // Churn happens naturally: refused threads lose their connection,
+    // back off, and re-dial, so admission keeps being exercised for the
+    // whole window rather than the first max_sessions winners holding
+    // their slots forever.
+    DriverResult r = RunFixedDurationClassed(
+        [&](int, Random& rng, int* cls) {
+          *cls = -1;
+          return bench.RunMixed(rng, IsolationLevel::kSerializable);
+        },
+        {}, offered, secs, retry);
+    report("sibench/wire_undersized", offered, r,
+           {{"max_sessions", static_cast<double>(so.max_sessions)},
+            {"begin_refusals", static_cast<double>(wire.overload_refusals())},
+            {"reconnects", static_cast<double>(wire.reconnects())}});
+    const net::Server::Stats s = small.stats();
+    std::printf("# undersized server: accepted=%llu refused=%llu\n",
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.refused));
+    small.Stop();
   }
   WriteBenchJson("net", rows_out);
   return 0;

@@ -174,6 +174,20 @@ struct EngineConfig {
   // kernel socket buffer plus this queue bound total memory per slow
   // client).
   uint32_t net_write_queue_bytes = 256 * 1024;
+  // Idle-in-transaction reaping (PostgreSQL's
+  // idle_in_transaction_session_timeout): a connection that holds an
+  // open transaction but has had no traffic for this long is sent a
+  // best-effort error frame, its session aborted, and the connection
+  // closed — a vanished/stalled client cannot pin OldestActiveSnapshot
+  // or hold row locks forever. 0 (default) disables the sweep: an idle
+  // open transaction is then allowed to pin the horizon indefinitely,
+  // exactly like PostgreSQL with the GUC unset.
+  uint64_t idle_in_txn_timeout_us = 0;
+  // Retry-after hint (milliseconds) carried by the kOverloaded refusal
+  // frame when a connection is declined over net_max_sessions. Purely
+  // advisory; well-behaved clients (WireDbClient) back off at least
+  // this long before reconnecting.
+  uint32_t net_overload_retry_after_ms = 50;
 };
 
 struct DatabaseOptions {

@@ -570,23 +570,32 @@ Status Transaction::Abort() {
 
 Status Transaction::Commit() {
   if (finished_) return Status::Internal("transaction already finished");
-  if (non_blocking_ && !commit_gate_waited_ && !writes_.empty() &&
-      db_->wal_ != nullptr &&
+  if (non_blocking_ && !writes_.empty() && db_->wal_ != nullptr &&
       db_->opts_.engine.wal_fsync != WalFsyncMode::kOff) {
-    // WAL commit gate: if a group fsync is in flight RIGHT NOW, a commit
-    // started here would queue behind it as a follower and block the
-    // worker for a whole device sync. Park once instead; when the token
-    // fires the batch we join is fresh. One park max (commit_gate_waited_)
-    // — the retried commit runs the normal blocking path, and a session
-    // that becomes the fsync LEADER pays its own fsync synchronously on
-    // the worker (unavoidable without an async I/O reactor; documented
-    // in README "Network front end").
+    // WAL commit gate: if a group fsync is in flight RIGHT NOW, a
+    // commit started here would queue behind it and block the worker
+    // for a whole device sync. Park instead; when the token fires the
+    // batch we join is fresh. The park is re-entered as long as the
+    // gate stays closed, but never past the lock-wait deadline
+    // (wait_started_us_ spans the parks): a stalled fsync device
+    // converts into a RETRYABLE abort here, with the transaction's
+    // locks released — not a worker pinned forever behind the gate.
+    // Safe because nothing has been appended for this commit yet.
+    const uint64_t now = NowMicros();
+    if (wait_started_us_ != 0 &&
+        now > wait_started_us_ + db_->opts_.engine.lock_wait_timeout_us) {
+      wait_started_us_ = 0;
+      AbortInternal();
+      return Status::SerializationFailure(
+          "wal commit gate timeout: fsync stalled; retry the transaction");
+    }
     auto token = std::make_shared<util::WaitToken>();
     if (db_->wal_->RegisterSyncWaiter(token)) {
-      commit_gate_waited_ = true;
+      if (wait_started_us_ == 0) wait_started_us_ = now;
       wait_token_ = std::move(token);
       return Status(Code::kWouldBlock, "wal group fsync in flight");
     }
+    wait_started_us_ = 0;
   }
   if (sxact_ && db_->siread_.Doomed(sxact_)) {
     AbortInternal();

@@ -396,11 +396,12 @@ class Transaction {
   // the caller deadline-polls, e.g. DEFERRABLE begin waits).
   util::WaitTokenPtr wait_token_;
   // First would-block instant of the currently-retried operation; the
-  // lock-wait timeout is enforced against it across suspensions. Reset
-  // on every successful lock acquisition batch completion (op finishes).
+  // lock-wait timeout is enforced against it across suspensions — for
+  // row-lock waits and for WAL commit-gate parks alike (a stalled fsync
+  // otherwise parks a committer forever). Reset on every successful
+  // lock acquisition batch completion (op finishes) and when the gate
+  // opens.
   uint64_t wait_started_us_ = 0;
-  // The WAL commit gate parks at most once per commit (see Commit).
-  bool commit_gate_waited_ = false;
   // DEFERRABLE resumable state: a begun-but-unproven snapshot waiting
   // out def_concurrent_.
   bool def_pending_ = false;

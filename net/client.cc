@@ -6,10 +6,32 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
+
+#include "util/failpoint.h"
 
 namespace pgssi::net {
+
+namespace {
+
+// Per-thread jitter source for Begin's backoff loop (deterministic per
+// thread, no cross-thread locking on the hot retry path).
+uint64_t JitterUs(uint64_t backoff_us) {
+  thread_local std::mt19937_64 rng(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) ^
+      0x5bd1e995u);
+  return backoff_us == 0 ? 0 : rng() % backoff_us;
+}
+
+void SleepUs(uint64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
 
 WireClient::~WireClient() { Close(); }
 
@@ -42,6 +64,22 @@ void WireClient::Close() {
 }
 
 Status WireClient::WriteAll(const char* p, size_t n) {
+  if (util::FailpointFires("wireclient_write_err")) {
+    return Status::IOError("injected client write fault");
+  }
+  if (util::FailpointFires("wireclient_torn_write")) {
+    // Half the frame reaches the server, then the socket dies: the
+    // server is left holding a truncated frame and must clean up when
+    // the connection closes.
+    size_t half = n / 2;
+    while (half > 0) {
+      const ssize_t w = ::write(fd_, p, half);
+      if (w <= 0) break;
+      p += w;
+      half -= static_cast<size_t>(w);
+    }
+    return Status::IOError("injected torn client write");
+  }
   while (n > 0) {
     const ssize_t w = ::write(fd_, p, n);
     if (w > 0) {
@@ -56,6 +94,11 @@ Status WireClient::WriteAll(const char* p, size_t n) {
 }
 
 Status WireClient::ReadAll(char* p, size_t n) {
+  if (util::FailpointFires("wireclient_read_err")) {
+    // The request may already have executed server-side; losing the
+    // response here is the ambiguous-ack window for commits.
+    return Status::IOError("injected client read fault");
+  }
   while (n > 0) {
     const ssize_t r = ::read(fd_, p, n);
     if (r > 0) {
@@ -101,6 +144,14 @@ Status WireClient::Call(const Request& req, std::string* payload) {
   if (code == static_cast<uint8_t>(Code::kOk)) {
     if (payload) *payload = std::move(rest);
     return Status::OK();
+  }
+  if (code == static_cast<uint8_t>(Code::kOverloaded)) {
+    // Admission refusal: the payload is a retry-after hint, not an
+    // error message, and the server has already closed its side.
+    last_retry_after_ms_ = RetryAfterMsFromOverloaded(rest);
+    Close();
+    return Status::Overloaded("server overloaded; retry after " +
+                              std::to_string(last_retry_after_ms_) + "ms");
   }
   return StatusFromWire(code, std::move(rest));
 }
@@ -241,7 +292,15 @@ WireClient* WireDbClient::Conn() {
   {
     std::lock_guard<std::mutex> l(mu_);
     auto it = conns_.find(me);
-    if (it != conns_.end()) return it->second.get();
+    if (it != conns_.end()) {
+      WireClient* c = it->second.get();
+      if (c->connected()) return c;
+      // The cached connection died (fault, refusal, server-side kill):
+      // re-dial in place so the thread keeps its slot.
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (!c->Connect(host_, port_).ok()) return nullptr;
+      return c;
+    }
   }
   auto c = std::make_unique<WireClient>();
   if (!c->Connect(host_, port_).ok()) return nullptr;
@@ -264,10 +323,31 @@ TableId WireDbClient::GetTableId(const std::string& name) {
 }
 
 std::unique_ptr<workload::DbTxn> WireDbClient::Begin(const TxnOptions& opts) {
-  WireClient* c = Conn();
-  if (!c) return nullptr;
-  if (!c->Begin(opts).ok()) return nullptr;
-  return std::make_unique<WireTxn>(c);
+  uint64_t backoff_us = retry_.base_backoff_us;
+  const uint32_t attempts = std::max<uint32_t>(1, retry_.max_attempts);
+  for (uint32_t attempt = 0; attempt < attempts; attempt++) {
+    if (attempt > 0) {
+      SleepUs(backoff_us + JitterUs(backoff_us));
+      backoff_us = std::min(backoff_us * 2, retry_.max_backoff_us);
+    }
+    WireClient* c = Conn();
+    if (!c) continue;  // connect refused/failed: back off and re-dial
+    const Status st = c->Begin(opts);
+    if (st.ok()) return std::make_unique<WireTxn>(c);
+    if (st.code() == Code::kOverloaded) {
+      overload_refusals_.fetch_add(1, std::memory_order_relaxed);
+      // Honor the server's hint when it exceeds our own backoff.
+      backoff_us = std::max(backoff_us,
+                            uint64_t{c->last_retry_after_ms()} * 1000);
+      backoff_us = std::min(backoff_us, retry_.max_backoff_us);
+      continue;
+    }
+    if (st.code() == Code::kIOError) {
+      continue;  // dead conn: Conn() re-dials next lap
+    }
+    return nullptr;  // non-retryable engine error
+  }
+  return nullptr;
 }
 
 }  // namespace pgssi::net

@@ -7,8 +7,25 @@
 // client never sees kWouldBlock). NOT thread-safe; one thread per
 // client, which is exactly the shape the workload drivers use to put
 // many connections over few server workers.
+//
+// Degradation behavior:
+//  - a kOverloaded response (admission refusal) surfaces as
+//    Status::Overloaded with the server's retry-after hint readable via
+//    last_retry_after_ms(); the connection is spent (server closed it).
+//  - WireDbClient::Begin auto-retries overload refusals and transport
+//    failures with capped exponential backoff + jitter, reconnecting as
+//    needed (safe: Begin carries no transaction state yet). Transaction
+//    BODIES are retried by the workload driver's RetryPolicy, not here.
+//
+// Client-side chaos failpoints (util/failpoint.h), independent of the
+// server's: "wireclient_write_err" (request write fails outright),
+// "wireclient_torn_write" (half the frame reaches the server, then the
+// socket dies — the server must cope with the truncated frame),
+// "wireclient_read_err" (response lost after the server processed the
+// request — for commits, the classic ambiguous-ack window).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -61,11 +78,15 @@ class WireClient {
   Status Commit();
   Status Abort();
 
+  /// Retry-after hint (ms) from the most recent kOverloaded response.
+  uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
  private:
   Status WriteAll(const char* p, size_t n);
   Status ReadAll(char* p, size_t n);
 
   int fd_ = -1;
+  uint32_t last_retry_after_ms_ = 0;
 };
 
 // ----- workload::DbClient over the wire -----
@@ -116,29 +137,54 @@ class WireTxn final : public workload::DbTxn {
   bool finished_ = false;
 };
 
+/// Connection-level retry shape for WireDbClient::Begin: capped
+/// exponential backoff with jitter. Retries cover overload refusals
+/// (waiting at least the server's retry-after hint) and transport
+/// failures; max_attempts = 1 disables retrying entirely.
+struct WireRetryPolicy {
+  uint32_t max_attempts = 8;
+  uint64_t base_backoff_us = 500;
+  uint64_t max_backoff_us = 50'000;
+};
+
 /// Connection-per-driver-thread wire client: every thread that calls
 /// Begin/CreateTable/GetTableId gets its own lazily-opened connection
 /// (= its own server-side session), so a driver with 32 threads puts 32
-/// connections over however few workers the server runs.
+/// connections over however few workers the server runs. A thread whose
+/// connection died is transparently reconnected on the next Begin.
 class WireDbClient final : public workload::DbClient {
  public:
-  WireDbClient(std::string host, uint16_t port)
-      : host_(std::move(host)), port_(port) {}
+  WireDbClient(std::string host, uint16_t port, WireRetryPolicy retry = {})
+      : host_(std::move(host)), port_(port), retry_(retry) {}
 
   Status CreateTable(const std::string& name, TableId* id) override;
   TableId GetTableId(const std::string& name) override;
-  /// Null if the connection cannot be established or Begin fails on the
-  /// wire.
+  /// Null only when every retry attempt was exhausted (connection
+  /// cannot be established, refusals persisted) or Begin failed with a
+  /// non-retryable engine error.
   std::unique_ptr<workload::DbTxn> Begin(const TxnOptions& opts) override;
 
+  /// kOverloaded refusals absorbed by Begin's backoff loop.
+  uint64_t overload_refusals() const {
+    return overload_refusals_.load(std::memory_order_relaxed);
+  }
+  /// Re-Connect() calls after a dead or refused connection.
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
  private:
-  // This thread's connection, opened on first use (null on failure).
+  // This thread's connection, opened on first use (null on connect
+  // failure). A cached-but-dead connection is re-dialed here.
   WireClient* Conn();
 
   std::string host_;
   uint16_t port_;
+  WireRetryPolicy retry_;
   std::mutex mu_;
   std::unordered_map<std::thread::id, std::unique_ptr<WireClient>> conns_;
+  std::atomic<uint64_t> overload_refusals_{0};
+  std::atomic<uint64_t> reconnects_{0};
 };
 
 }  // namespace pgssi::net

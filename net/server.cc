@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "util/clock.h"
+#include "util/failpoint.h"
 
 namespace pgssi::net {
 
@@ -59,6 +60,9 @@ struct Server::Conn {
   // idle -> in-txn -> awaiting-lock / committing (introspection only).
   enum class Phase : int { kIdle = 0, kInTxn, kAwaitingLock, kCommitting };
   std::atomic<int> phase{static_cast<int>(Phase::kIdle)};
+
+  // Last inbound traffic or completed op, for the idle-in-txn sweep.
+  std::atomic<uint64_t> last_activity_us{0};
 };
 
 Server::Server(Database* db, ServerOptions opts)
@@ -75,6 +79,14 @@ Server::Server(Database* db, ServerOptions opts)
   if (write_queue_bytes_ == 0) write_queue_bytes_ = 64 * 1024;
   park_interval_us_ = eng.deadlock_check_interval_us;
   if (park_interval_us_ == 0) park_interval_us_ = 1000;
+  idle_txn_timeout_us_ = eng.idle_in_txn_timeout_us;
+  overload_retry_after_ms_ = eng.net_overload_retry_after_ms;
+}
+
+bool Server::NetFault(const char* name) {
+  if (!util::FailpointFires(name)) return false;
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 Server::~Server() { Stop(); }
@@ -154,7 +166,7 @@ void Server::Stop() {
   // onto a run queue nobody drains anymore.
   std::unordered_set<Conn*> seen;
   std::vector<ConnPtr> all;
-  for (auto& c : conns_) {
+  for (auto& [fd, c] : conns_) {
     if (seen.insert(c.get()).second) all.push_back(c);
   }
   {
@@ -202,6 +214,9 @@ Server::Stats Server::stats() const {
   s.read_pauses = read_pauses_.load(std::memory_order_relaxed);
   s.write_pauses = write_pauses_.load(std::memory_order_relaxed);
   s.shutdown_aborts = shutdown_aborts_.load(std::memory_order_relaxed);
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  s.rdhup_closes = rdhup_closes_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -225,6 +240,13 @@ void Server::EpollLoop() {
         if (timeout_ms < 1) timeout_ms = 1;
       }
     }
+    if (idle_txn_timeout_us_ > 0 && !conns_.empty()) {
+      // The idle-in-txn sweep needs the loop to tick even when no
+      // session is parked and no socket is active.
+      int sweep_ms = static_cast<int>(idle_txn_timeout_us_ / 4000);
+      if (sweep_ms < 1) sweep_ms = 1;
+      if (timeout_ms < 0 || sweep_ms < timeout_ms) timeout_ms = sweep_ms;
+    }
     const int n = ::epoll_wait(epoll_fd_, evs, kEpollBatch, timeout_ms);
     if (stopping_.load(std::memory_order_acquire)) break;
     for (int i = 0; i < n; i++) {
@@ -239,17 +261,20 @@ void Server::EpollLoop() {
         }
         continue;  // attention list processed below
       }
-      // Look up the conn (linear over conns_ is fine at test scale, but
-      // keep the index honest for storms).
-      ConnPtr c;
-      for (auto& cc : conns_) {
-        if (cc->fd == fd) {
-          c = cc;
-          break;
-        }
-      }
-      if (!c) continue;  // already closed
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // already closed
+      ConnPtr c = it->second;
       if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(c);
+        continue;
+      }
+      if ((evs[i].events & EPOLLRDHUP) && !(evs[i].events & EPOLLIN)) {
+        // Peer shut down its write side and EPOLLIN is disarmed (read
+        // backpressure) — RDHUP is the ONLY signal; without it a
+        // vanished client whose queue tripped backpressure would hold
+        // its transaction forever. (With EPOLLIN armed the read path
+        // drains any final frames and sees EOF itself.)
+        rdhup_closes_.fetch_add(1, std::memory_order_relaxed);
         CloseConn(c);
         continue;
       }
@@ -271,13 +296,14 @@ void Server::EpollLoop() {
       if (c->want_read_rearm.exchange(false) && c->read_paused) {
         c->read_paused = false;
         epoll_event ev{};
-        ev.events = EPOLLIN | (c->epollout_armed ? EPOLLOUT : 0);
+        ev.events = EPOLLIN | EPOLLRDHUP | (c->epollout_armed ? EPOLLOUT : 0u);
         ev.data.fd = c->fd;
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
       }
       FlushWrites(c);
     }
     TickParked();
+    ReapIdleInTxn(NowMicros());
   }
 }
 
@@ -286,8 +312,26 @@ void Server::AcceptPending() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: back to epoll
-    if (conns_.size() >= opts_.max_sessions) {
+    if (conns_.size() >= opts_.max_sessions ||
+        NetFault("net_accept_refuse")) {
+      // Refuse loudly: a kOverloaded frame with a retry-after hint (ms)
+      // instead of a silent close, so clients can distinguish "come
+      // back later" from a network fault. The socket buffer of a
+      // just-accepted connection is empty, so the single best-effort
+      // write does not block the epoll thread.
       refused_.fetch_add(1, std::memory_order_relaxed);
+      std::string hint;
+      PutU32(&hint, overload_retry_after_ms_);
+      const std::string frame = EncodeResponse(Code::kOverloaded, hint);
+      (void)!::write(fd, frame.data(), frame.size());
+      // Drain whatever the client already pipelined (typically its
+      // Begin frame) before closing: unread inbound bytes at close()
+      // turn into an RST that discards the refusal frame client-side.
+      // Non-blocking fd, so this terminates at EAGAIN immediately.
+      ::shutdown(fd, SHUT_WR);
+      char junk[512];
+      while (::read(fd, junk, sizeof(junk)) > 0) {
+      }
       ::close(fd);
       continue;
     }
@@ -295,25 +339,27 @@ void Server::AcceptPending() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto c = std::make_shared<Conn>(db_);
     c->fd = fd;
+    c->last_activity_us.store(NowMicros(), std::memory_order_relaxed);
     epoll_event ev{};
-    ev.events = EPOLLIN;
+    ev.events = EPOLLIN | EPOLLRDHUP;
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
       continue;
     }
-    conns_.push_back(std::move(c));
+    conns_.emplace(fd, std::move(c));
     accepted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void Server::HandleReadable(const ConnPtr& c) {
   char buf[kReadChunk];
-  bool eof = false;
-  for (;;) {
+  bool eof = NetFault("net_read_err");  // injected hard read error
+  for (; !eof;) {
     const ssize_t r = ::read(c->fd, buf, sizeof(buf));
     if (r > 0) {
       c->in.append(buf, static_cast<size_t>(r));
+      c->last_activity_us.store(NowMicros(), std::memory_order_relaxed);
       if (static_cast<size_t>(r) < sizeof(buf)) break;
       continue;
     }
@@ -364,7 +410,9 @@ void Server::HandleReadable(const ConnPtr& c) {
     c->read_paused = true;
     read_pauses_.fetch_add(1, std::memory_order_relaxed);
     epoll_event ev{};
-    ev.events = c->epollout_armed ? EPOLLOUT : 0;
+    // EPOLLRDHUP stays armed: a client that vanishes while paused must
+    // still be detected (the half-open case).
+    ev.events = EPOLLRDHUP | (c->epollout_armed ? EPOLLOUT : 0u);
     ev.data.fd = c->fd;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
   }
@@ -373,12 +421,28 @@ void Server::HandleReadable(const ConnPtr& c) {
 
 void Server::FlushWrites(const ConnPtr& c) {
   if (c->fd < 0) return;
+  if (!c->closing.load(std::memory_order_acquire) &&
+      NetFault("net_flush_stall")) {
+    // Stalled flush: skip this pass entirely; the self-nudge retries on
+    // the next loop iteration (responses are delayed, never dropped).
+    NudgeEpoll(c);
+    return;
+  }
   bool drained_below_pause = false;
   {
     std::lock_guard<std::mutex> l(c->out_mu);
     while (c->out_off < c->out.size()) {
-      const ssize_t w = ::write(c->fd, c->out.data() + c->out_off,
-                                c->out.size() - c->out_off);
+      // Torn/short frame write: push a single byte this pass, then stop
+      // — the remainder stays queued and EPOLLOUT re-arms below, so the
+      // client sees a frame arrive in arbitrary fragments.
+      const size_t cap =
+          NetFault("net_write_short") ? 1 : c->out.size() - c->out_off;
+      const ssize_t w = ::write(c->fd, c->out.data() + c->out_off, cap);
+      if (w > 0 && static_cast<size_t>(w) == cap && cap == 1 &&
+          c->out_off + 1 < c->out.size()) {
+        c->out_off += 1;
+        break;  // deliberately leave the rest for the next pass
+      }
       if (w > 0) {
         c->out_off += static_cast<size_t>(w);
         continue;
@@ -400,7 +464,8 @@ void Server::FlushWrites(const ConnPtr& c) {
     if (want_out != c->epollout_armed) {
       c->epollout_armed = want_out;
       epoll_event ev{};
-      ev.events = (c->read_paused ? 0 : EPOLLIN) | (want_out ? EPOLLOUT : 0);
+      ev.events = EPOLLRDHUP | (c->read_paused ? 0u : EPOLLIN) |
+                  (want_out ? EPOLLOUT : 0u);
       ev.data.fd = c->fd;
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
     }
@@ -421,15 +486,10 @@ void Server::CloseConn(const ConnPtr& c) {
   if (c->fd >= 0) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
     ::close(c->fd);
+    conns_.erase(c->fd);
     c->fd = -1;
   }
   c->closing.store(true, std::memory_order_release);
-  for (size_t i = 0; i < conns_.size(); i++) {
-    if (conns_[i] == c) {
-      conns_.erase(conns_.begin() + i);
-      break;
-    }
-  }
   // A worker pass aborts the session and drops its ops. If the conn is
   // parked, the exchange steals it from the pending wake.
   c->parked.store(false, std::memory_order_release);
@@ -449,12 +509,61 @@ void Server::TickParked() {
         due.push_back(std::move(c));
         continue;
       }
-      parked_[keep++] = std::move(parked_[i]);
+      // Guard against self-move: weak_ptr move-assignment onto itself
+      // empties the entry and the parked session is silently forgotten.
+      if (keep != i) parked_[keep] = std::move(parked_[i]);
+      keep++;
     }
     parked_.resize(keep);
   }
   for (auto& c : due) {
     if (c->parked.exchange(false)) Enqueue(c);
+  }
+}
+
+void Server::ReapIdleInTxn(uint64_t now) {
+  if (idle_txn_timeout_us_ == 0) return;
+  if (now < next_idle_sweep_us_) return;
+  next_idle_sweep_us_ = now + (idle_txn_timeout_us_ / 4 > park_interval_us_
+                                   ? idle_txn_timeout_us_ / 4
+                                   : park_interval_us_);
+  std::vector<ConnPtr> reap;
+  for (auto& [fd, c] : conns_) {
+    // A connection is idle-in-txn when its session holds a transaction
+    // and nothing whatsoever is happening for it: not running or queued
+    // on a worker, not parked on a wait, no pipelined ops buffered, no
+    // inbound traffic. On the epoll thread those checks are stable —
+    // every re-activation path (reads, token wakes, the deadline tick)
+    // either runs on this thread or requires parked == true.
+    if (c->phase.load(std::memory_order_relaxed) !=
+        static_cast<int>(Conn::Phase::kInTxn)) {
+      continue;
+    }
+    if (c->parked.load(std::memory_order_acquire)) continue;
+    if (c->sched.load(std::memory_order_acquire) != Conn::kIdle) continue;
+    {
+      std::lock_guard<std::mutex> l(c->ops_mu);
+      if (!c->ops.empty()) continue;
+    }
+    if (now - c->last_activity_us.load(std::memory_order_relaxed) <
+        idle_txn_timeout_us_) {
+      continue;
+    }
+    reap.push_back(c);
+  }
+  for (auto& c : reap) {
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    // Best-effort FATAL-style frame (PostgreSQL's
+    // idle_in_transaction_session_timeout analogue), then teardown: the
+    // worker pass triggered by CloseConn aborts the transaction, which
+    // releases its row locks and un-pins the snapshot horizon.
+    {
+      std::lock_guard<std::mutex> l(c->out_mu);
+      c->out += EncodeResponse(Code::kSerializationFailure,
+                               "idle-in-transaction timeout");
+    }
+    FlushWrites(c);
+    CloseConn(c);
   }
 }
 
@@ -541,6 +650,14 @@ void Server::RunConn(const ConnPtr& c) {
       if (c->ops.empty()) return;
       req = c->ops.front();  // copy: pop only after completion
     }
+    if (NetFault("net_drop_before_exec")) {
+      // Connection dies with the request parsed but unexecuted: loop to
+      // the closing branch (abort + drop the pipeline); the epoll
+      // thread closes the fd via the attention list.
+      c->closing.store(true, std::memory_order_release);
+      NudgeEpoll(c);
+      continue;
+    }
     if (!ExecuteOp(c, req)) return;  // parked
     size_t qn;
     {
@@ -549,6 +666,7 @@ void Server::RunConn(const ConnPtr& c) {
       qn = c->ops.size();
     }
     ops_executed_.fetch_add(1, std::memory_order_relaxed);
+    c->last_activity_us.store(NowMicros(), std::memory_order_relaxed);
     // Response bytes are waiting; if the intake was paused and we have
     // drained half the queue, ask for more.
     if (qn <= backpressure_ops_ / 2) {
@@ -633,6 +751,13 @@ bool Server::ExecuteOp(const ConnPtr& c, const Request& req) {
 
   if (st.IsWouldBlock()) {
     would_blocks_.fetch_add(1, std::memory_order_relaxed);
+    if (NetFault("net_drop_parked")) {
+      // Connection dies exactly where it would have parked — the wait
+      // registration must unwind cleanly through the abort path.
+      c->closing.store(true, std::memory_order_release);
+      NudgeEpoll(c);
+      return true;  // RunConn's closing branch takes it from here
+    }
     c->phase.store(static_cast<int>(req.op == Op::kCommit
                                         ? Conn::Phase::kCommitting
                                         : Conn::Phase::kAwaitingLock),
@@ -646,15 +771,33 @@ bool Server::ExecuteOp(const ConnPtr& c, const Request& req) {
       std::lock_guard<std::mutex> l(parked_mu_);
       parked_.push_back(c);
     }
+    // Kick the epoll thread out of a possibly-indefinite epoll_wait: on
+    // a quiet server it must switch to the parked-tick timeout NOW, or
+    // this session's deadline (lock wait, commit gate) never fires.
+    NudgeEpoll(c);
     if (auto token = s.wait_token()) {
       std::weak_ptr<Conn> w = c;
       token->OnSignal([this, w] {
         if (ConnPtr cc = w.lock()) {
+          // Delayed/lost wake: swallow the signal and let the epoll
+          // thread's deadline tick backstop the re-poll.
+          if (NetFault("net_wake_delay")) return;
           if (cc->parked.exchange(false)) Enqueue(cc);
         }
       });
     }
     return false;
+  }
+
+  if (req.op == Op::kCommit && NetFault("net_drop_after_commit")) {
+    // The ack-loss window: the transaction's fate is decided (commit
+    // durably applied, or a definite error) but the connection dies
+    // before the response frame is queued. The client MUST treat a
+    // dropped commit as ambiguous — its retry observes the committed
+    // state (e.g. kAlreadyExists on a re-insert) rather than an ack.
+    c->closing.store(true, std::memory_order_release);
+    NudgeEpoll(c);
+    return true;
   }
 
   c->phase.store(static_cast<int>(s.in_txn() ? Conn::Phase::kInTxn

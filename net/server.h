@@ -42,6 +42,26 @@
 // thread, then single-threadedly aborts every in-flight transaction
 // (parked sessions included) and closes the sockets — all before the
 // Database may be destroyed.
+//
+// Degradation (see README "Degradation & retry"):
+//  - over max_sessions, accept answers with a kOverloaded frame
+//    carrying a retry-after hint (ms) and closes — a refusal is a
+//    protocol message, not a silent RST;
+//  - sessions idle inside a transaction past idle_in_txn_timeout_us are
+//    sent a best-effort error frame, aborted, and torn down, so a
+//    vanished client cannot pin OldestActiveSnapshot (off by default);
+//  - every event mask carries EPOLLRDHUP, so a half-open connection is
+//    caught even while read backpressure has EPOLLIN disarmed.
+//
+// Chaos failpoints (util/failpoint.h), all counted in
+// Stats::faults_injected: "net_accept_refuse" (forced overload refusal),
+// "net_read_err" (inbound read becomes a hangup), "net_write_short"
+// (frame write truncated to 1 byte this pass — retried, never dropped),
+// "net_flush_stall" (flush deferred one loop), "net_drop_before_exec" /
+// "net_drop_parked" / "net_drop_after_commit" (connection killed before
+// an op runs / instead of parking / after a commit succeeded but before
+// its response is flushed — the ack-loss window), "net_wake_delay"
+// (token wake swallowed; the deadline tick must recover the session).
 #pragma once
 
 #include <atomic>
@@ -52,6 +72,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "db/session.h"
@@ -91,12 +112,16 @@ class Server {
 
   struct Stats {
     uint64_t accepted = 0;
-    uint64_t refused = 0;        // over max_sessions
+    uint64_t refused = 0;        // over max_sessions (kOverloaded frame sent)
     uint64_t ops_executed = 0;   // completed ops (responses written)
     uint64_t would_blocks = 0;   // parks (lock waits + commit gate + def)
     uint64_t read_pauses = 0;    // op-queue backpressure engagements
     uint64_t write_pauses = 0;   // slow-reader backpressure engagements
     uint64_t shutdown_aborts = 0;  // in-flight txns aborted by Stop
+    uint64_t idle_reaped = 0;    // idle-in-txn sessions torn down by sweep
+    uint64_t rdhup_closes = 0;   // half-open conns caught by EPOLLRDHUP
+                                 // while EPOLLIN was disarmed (backpressure)
+    uint64_t faults_injected = 0;  // net_* failpoint fires inside the server
   };
   Stats stats() const;
   size_t active_sessions() const;
@@ -118,12 +143,20 @@ class Server {
   void CloseConn(const ConnPtr& c);  // epoll thread only
   void NudgeEpoll(const ConnPtr& c);
   void TickParked();
+  // idle_in_txn_timeout_us sweep: tears down connections that hold an
+  // open transaction but have gone silent (epoll thread only).
+  void ReapIdleInTxn(uint64_t now);
+  // Failpoint wrapper that also counts the fire in faults_injected.
+  bool NetFault(const char* name);
 
   Database* db_;
   ServerOptions opts_;
   uint32_t backpressure_ops_ = 0;
   uint32_t write_queue_bytes_ = 0;
   uint64_t park_interval_us_ = 0;
+  uint64_t idle_txn_timeout_us_ = 0;
+  uint32_t overload_retry_after_ms_ = 0;
+  uint64_t next_idle_sweep_us_ = 0;  // epoll thread only
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -140,9 +173,10 @@ class Server {
   std::condition_variable run_cv_;
   std::deque<ConnPtr> run_queue_;
 
-  // Live connections, keyed by fd. Epoll thread only (no mutex) while
-  // running; Stop() touches it only after the epoll thread is joined.
-  std::vector<ConnPtr> conns_;
+  // Live connections, keyed by fd — O(1) event dispatch under
+  // connection storms. Epoll thread only (no mutex) while running;
+  // Stop() touches it only after the epoll thread is joined.
+  std::unordered_map<int, ConnPtr> conns_;
 
   // Attention list: conns whose write buffers the epoll thread should
   // flush / whose EPOLLIN wants re-arming (leaf mutex).
@@ -160,6 +194,9 @@ class Server {
   std::atomic<uint64_t> read_pauses_{0};
   std::atomic<uint64_t> write_pauses_{0};
   std::atomic<uint64_t> shutdown_aborts_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> rdhup_closes_{0};
+  std::atomic<uint64_t> faults_injected_{0};
 };
 
 }  // namespace pgssi::net

@@ -259,6 +259,15 @@ inline Status StatusFromWire(uint8_t code, std::string msg) {
   return Status(static_cast<Code>(code), std::move(msg));
 }
 
+// A kOverloaded response (admission refusal at accept time) carries
+// [u32 retry_after_ms] instead of an error message: how long the
+// server suggests waiting before reconnecting.
+inline uint32_t RetryAfterMsFromOverloaded(std::string_view payload) {
+  if (payload.size() < 4) return 0;
+  Reader rd(payload);
+  return rd.U32();
+}
+
 inline TxnOptions TxnOptionsFromBegin(const Request& r) {
   TxnOptions o;
   o.isolation = r.isolation == 0 ? IsolationLevel::kRepeatableRead

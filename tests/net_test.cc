@@ -329,6 +329,226 @@ TEST(NetTest, DeferrableOverTheWireGetsSafeSnapshot) {
   EXPECT_EQ(seen, "0");
 }
 
+// ----- malformed wire input -----
+// Every malformed byte stream must end the same way: the connection is
+// closed, the session's transaction is aborted (nothing keeps pinning
+// the snapshot horizon or holding row locks), and the server keeps
+// serving well-formed clients. ASan/LSan in CI additionally prove the
+// teardown leaks nothing.
+
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    ASSERT_GT(w, 0);
+    off += static_cast<size_t>(w);
+  }
+}
+
+// Polls until no transaction pins the horizon and no row locks remain:
+// the server noticed the broken connection and aborted its session.
+::testing::AssertionResult ConvergedClean(Database* db, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (db->OldestActiveSnapshot() == UINT64_MAX && db->RowLockCount() == 0) {
+      return ::testing::AssertionSuccess();
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return ::testing::AssertionFailure()
+             << "sessions/locks leaked: oldest="
+             << db->OldestActiveSnapshot()
+             << " row_locks=" << db->RowLockCount();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// One valid in-txn frame first, so the malformed bytes kill a session
+// that actually holds state — then the horizon must clear.
+void ExpectMalformedKillsSession(ServerFixture* f, TableId t,
+                                 const std::string& malformed) {
+  int fd = RawConnect(f->port());
+  std::string stream = net::EncodeRequest(net::BeginRequest(
+      {.isolation = IsolationLevel::kSerializable}));
+  Request put;
+  put.op = Op::kPut;
+  put.table = t;
+  put.key = "poison";
+  put.value = "v";
+  stream += net::EncodeRequest(put);
+  stream += malformed;
+  SendAll(fd, stream);
+  // The server closes; reads eventually return EOF or ECONNRESET, never
+  // a hang.
+  char buf[256];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) break;
+  }
+  ::close(fd);
+  EXPECT_TRUE(ConvergedClean(f->db.get()));
+
+  // The server is still healthy for well-formed clients.
+  WireClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", f->port()).ok());
+  ASSERT_TRUE(c.Begin().ok());
+  ASSERT_TRUE(c.Put(t, "healthy", "1").ok());
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+TEST(NetTest, MalformedOversizedLengthPrefixDropsConnection) {
+  ServerFixture f;
+  WireClient setup;
+  ASSERT_TRUE(setup.Connect("127.0.0.1", f.port()).ok());
+  TableId t = kInvalidTable;
+  ASSERT_TRUE(setup.CreateTable("t", &t).ok());
+  std::string malformed;
+  net::PutU32(&malformed, net::kMaxFrameBytes + 1);
+  ExpectMalformedKillsSession(&f, t, malformed);
+}
+
+TEST(NetTest, MalformedZeroLengthPrefixDropsConnection) {
+  ServerFixture f;
+  WireClient setup;
+  ASSERT_TRUE(setup.Connect("127.0.0.1", f.port()).ok());
+  TableId t = kInvalidTable;
+  ASSERT_TRUE(setup.CreateTable("t", &t).ok());
+  std::string malformed;
+  net::PutU32(&malformed, 0);
+  ExpectMalformedKillsSession(&f, t, malformed);
+}
+
+TEST(NetTest, MalformedUnknownOpcodeDropsConnection) {
+  ServerFixture f;
+  WireClient setup;
+  ASSERT_TRUE(setup.Connect("127.0.0.1", f.port()).ok());
+  TableId t = kInvalidTable;
+  ASSERT_TRUE(setup.CreateTable("t", &t).ok());
+  std::string malformed;
+  net::PutU32(&malformed, 1);
+  net::PutU8(&malformed, 0xEE);
+  ExpectMalformedKillsSession(&f, t, malformed);
+}
+
+TEST(NetTest, MalformedTruncatedFieldDropsConnection) {
+  ServerFixture f;
+  WireClient setup;
+  ASSERT_TRUE(setup.Connect("127.0.0.1", f.port()).ok());
+  TableId t = kInvalidTable;
+  ASSERT_TRUE(setup.CreateTable("t", &t).ok());
+  // A kPut whose declared frame length cuts the value field short: the
+  // frame is complete length-wise but DecodeRequestBody must reject it.
+  std::string body;
+  net::PutU8(&body, static_cast<uint8_t>(Op::kPut));
+  net::PutU32(&body, t);
+  net::PutStr16(&body, "k");
+  net::PutU32(&body, 100);  // value claims 100 bytes...
+  body += "short";          // ...but only 5 follow
+  std::string malformed;
+  net::PutU32(&malformed, static_cast<uint32_t>(body.size()));
+  malformed += body;
+  ExpectMalformedKillsSession(&f, t, malformed);
+}
+
+// A connection torn down at EVERY byte boundary of a valid request
+// stream: whatever complete frames made it through execute, the rest is
+// discarded, and the half-dead session is always reaped.
+TEST(NetTest, TruncatedStreamAtEveryByteBoundaryConvergesClean) {
+  ServerOptions so;
+  so.max_sessions = 256;  // teardown is async; allow brief overlap
+  ServerFixture f(so);
+  WireClient setup;
+  ASSERT_TRUE(setup.Connect("127.0.0.1", f.port()).ok());
+  TableId t = kInvalidTable;
+  ASSERT_TRUE(setup.CreateTable("t", &t).ok());
+
+  std::string stream = net::EncodeRequest(net::BeginRequest(
+      {.isolation = IsolationLevel::kSerializable}));
+  Request put;
+  put.op = Op::kPut;
+  put.table = t;
+  put.key = "trunc";
+  put.value = "v";
+  stream += net::EncodeRequest(put);
+  Request commit;
+  commit.op = Op::kCommit;
+  stream += net::EncodeRequest(commit);
+
+  for (size_t cut = 1; cut < stream.size(); cut++) {
+    int fd = RawConnect(f.port());
+    SendAll(fd, stream.substr(0, cut));
+    ::close(fd);
+  }
+  EXPECT_TRUE(ConvergedClean(f.db.get()));
+
+  // Still healthy end to end.
+  WireClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", f.port()).ok());
+  ASSERT_TRUE(c.Begin().ok());
+  std::string v;
+  Status st = c.Get(t, "trunc", &v);
+  EXPECT_TRUE(st.ok() || st.code() == Code::kNotFound) << st.ToString();
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+// Admission refusal is a protocol message: a client over max_sessions
+// reads a kOverloaded frame carrying the configured retry-after hint.
+TEST(NetTest, OverloadRefusalCarriesRetryAfterHint) {
+  ServerOptions so;
+  so.max_sessions = 1;
+  DatabaseOptions dbo;
+  dbo.engine.net_overload_retry_after_ms = 7;
+  ServerFixture f(so, dbo);
+  WireClient holder;
+  ASSERT_TRUE(holder.Connect("127.0.0.1", f.port()).ok());
+  ASSERT_TRUE(holder.Ping().ok());  // session occupies the only slot
+
+  // Read-only raw socket: no outbound write means no RST race — the
+  // refusal frame and FIN arrive untouched.
+  int fd = RawConnect(f.port());
+  std::string got;
+  char buf[64];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) break;
+    got.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  ASSERT_GE(got.size(), 9u) << "expected a full kOverloaded frame";
+  uint32_t len = 0;
+  std::memcpy(&len, got.data(), 4);
+  ASSERT_EQ(len, 5u);
+  EXPECT_EQ(static_cast<uint8_t>(got[4]),
+            static_cast<uint8_t>(Code::kOverloaded));
+  EXPECT_EQ(net::RetryAfterMsFromOverloaded(got.substr(5)), 7u);
+  EXPECT_GE(f.server->stats().refused, 1u);
+
+  // The WireClient surfaces it as Status::Overloaded with the hint.
+  WireClient refused;
+  ASSERT_TRUE(refused.Connect("127.0.0.1", f.port()).ok());
+  Status st = refused.Ping();
+  if (st.code() == Code::kOverloaded) {
+    EXPECT_EQ(refused.last_retry_after_ms(), 7u);
+  } else {
+    // The refusal frame can lose a race with our own write (RST); the
+    // degradation contract only promises a clean failure, never a hang.
+    EXPECT_EQ(st.code(), Code::kIOError) << st.ToString();
+  }
+}
+
 TEST(NetTest, StopAbortsInFlightAndParkedSessions) {
   DatabaseOptions dbo;
   dbo.serializable_impl = SerializableImpl::kS2PL;

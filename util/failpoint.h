@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
+#include <random>
 #include <string>
 #include <unordered_map>
 
@@ -58,6 +59,30 @@ class FailpointRegistry {
     RecountLocked();
   }
 
+  /// Chaos-mode arming: every Eval of `name` fires `action` with
+  /// probability `permille`/1000, independently, until `budget` fires
+  /// have landed (budget 0 = unlimited until Clear/ClearAll). Unlike the
+  /// deterministic Arm above there is no Nth-eval trigger — this is the
+  /// shape chaos harnesses want: "roughly every 50th frame write tears".
+  void ArmChance(const std::string& name, FailpointAction action,
+                 uint32_t permille, uint64_t budget = 0) {
+    std::lock_guard<std::mutex> l(mu_);
+    State s;
+    s.action = action;
+    s.permille = permille > 1000 ? 1000 : permille;
+    s.remaining = budget == 0 ? UINT64_MAX : budget;
+    points_[name] = s;
+    RecountLocked();
+  }
+
+  /// Total times `name` has fired (over its whole life, surviving
+  /// disarm). Chaos tests use this to prove a site actually injected.
+  uint64_t FireCount(const std::string& name) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = fired_.find(name);
+    return it == fired_.end() ? 0 : it->second;
+  }
+
   void Clear(const std::string& name) {
     std::lock_guard<std::mutex> l(mu_);
     points_.erase(name);
@@ -80,8 +105,14 @@ class FailpointRegistry {
       return FailpointAction::kNone;
     }
     State& s = it->second;
-    if (++s.hits < s.trigger_at) return FailpointAction::kNone;
+    if (s.permille > 0) {
+      // Chaos mode: independent Bernoulli trial per eval.
+      if (rng_() % 1000 >= s.permille) return FailpointAction::kNone;
+    } else {
+      if (++s.hits < s.trigger_at) return FailpointAction::kNone;
+    }
     const FailpointAction a = s.action;
+    fired_[name]++;
     if (--s.remaining == 0) {
       s.action = FailpointAction::kNone;  // repeat budget spent: disarm
       RecountLocked();
@@ -95,6 +126,7 @@ class FailpointRegistry {
     uint64_t trigger_at = 1;
     uint64_t hits = 0;
     uint64_t remaining = 1;
+    uint32_t permille = 0;  // >0: chaos (probabilistic) mode
   };
   void RecountLocked() {
     uint32_t n = 0;
@@ -105,6 +137,8 @@ class FailpointRegistry {
   }
   std::mutex mu_;
   std::unordered_map<std::string, State> points_;
+  std::unordered_map<std::string, uint64_t> fired_;
+  std::mt19937_64 rng_{0x9e3779b97f4a7c15ull};  // fixed seed: reproducible
   std::atomic<uint32_t> armed_{0};
 };
 
@@ -116,6 +150,13 @@ inline void FailpointClear(const std::string& name) {
   FailpointRegistry::Instance().Clear(name);
 }
 inline void FailpointClearAll() { FailpointRegistry::Instance().ClearAll(); }
+inline void FailpointArmChance(const std::string& name, FailpointAction action,
+                               uint32_t permille, uint64_t budget = 0) {
+  FailpointRegistry::Instance().ArmChance(name, action, permille, budget);
+}
+inline uint64_t FailpointFireCount(const std::string& name) {
+  return FailpointRegistry::Instance().FireCount(name);
+}
 
 /// Raw evaluation: hands the action back to the site. Use this only
 /// where the site must do work BEFORE dying (e.g. write half a frame,

@@ -19,6 +19,11 @@ enum class Code {
   kBusy,
   kIOError,
   kInternal,
+  // Admission-control refusal: the server is at capacity (max_sessions)
+  // and declined the connection/operation outright. Retryable after a
+  // backoff; the wire response carries a retry-after hint (milliseconds)
+  // in its payload. Mirrors PostgreSQL's 53300 too_many_connections.
+  kOverloaded,
   // Non-blocking session API only (db/session.h): the operation cannot
   // complete without waiting (row-lock conflict, WAL fsync in flight,
   // DEFERRABLE safe-snapshot wait). Nothing failed — re-issue the same
@@ -55,6 +60,9 @@ class Status {
   static Status Internal(std::string m) {
     return Status(Code::kInternal, std::move(m));
   }
+  static Status Overloaded(std::string m = "server overloaded") {
+    return Status(Code::kOverloaded, std::move(m));
+  }
   static Status WouldBlock(std::string m = "would block") {
     return Status(Code::kWouldBlock, std::move(m));
   }
@@ -85,6 +93,8 @@ class Status {
         return "IOError: " + msg_;
       case Code::kInternal:
         return "Internal: " + msg_;
+      case Code::kOverloaded:
+        return "Overloaded: " + msg_;
       case Code::kWouldBlock:
         return "WouldBlock: " + msg_;
     }

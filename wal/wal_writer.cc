@@ -74,15 +74,33 @@ Status WalWriter::Open(const std::string& path, uint64_t keep_bytes) {
     (void)::fsync(dfd);  // best effort
     ::close(dfd);
   }
+
+  stop_syncer_ = false;
+  sync_req_ = size;
+  req_batch_target_ = UINT32_MAX;
+  req_max_wait_us_ = UINT32_MAX;
+  syncer_ = std::thread(&WalWriter::SyncerLoop, this);
+  syncer_running_ = true;
   return Status::OK();
 }
 
 void WalWriter::Close() {
-  std::unique_lock<std::mutex> l(mu_);
-  if (fd_ < 0) return;
-  (void)FsyncRetryEintr(fd_);  // clean shutdown: everything durable
-  ::close(fd_);
-  fd_ = -1;
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_syncer_ = true;
+    t.swap(syncer_);
+    cv_.notify_all();
+  }
+  if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> l(mu_);
+  syncer_running_ = false;
+  if (fd_ >= 0) {
+    (void)FsyncRetryEintr(fd_);  // clean shutdown: everything durable
+    ::close(fd_);
+    fd_ = -1;
+  }
+  cv_.notify_all();  // stray waiters observe "wal closed"
 }
 
 Status WalWriter::AppendLocked(std::string_view payload,
@@ -140,69 +158,117 @@ Status WalWriter::Append(std::string_view payload, uint64_t* end_offset) {
 Status WalWriter::Sync(uint64_t end_offset, uint32_t batch_target,
                        uint32_t max_wait_us) {
   std::unique_lock<std::mutex> l(mu_);
+  uint64_t my_gen = err_gen_;
+  bool posted = false;
   for (;;) {
     if (failed_.load(std::memory_order_relaxed)) {
       return Status::IOError("wal writer failed (latched): durability lost");
     }
     if (durable_.load(std::memory_order_relaxed) >= end_offset) {
-      return Status::OK();  // a previous leader's fsync covered us
+      return Status::OK();  // a previous round's fsync covered us
     }
-    if (!sync_in_progress_) break;
+    if (my_gen != err_gen_) {
+      // A round failed while we waited. If its attempted fsync covered
+      // our offset, our data is not durable and the error is ours too;
+      // otherwise re-post and let a fresh round retry.
+      if (posted && end_offset <= err_upto_) return err_status_;
+      my_gen = err_gen_;
+    }
+    if (!syncer_running_) return Status::IOError("wal closed");
+    // (Re)post the request. The dwell shape is the min() over the
+    // round's requesters, so one kAlways committer (batch 1, no wait)
+    // collapses the whole round to an immediate fsync — batching can
+    // only ever weaken toward stricter durability, never delay it.
+    if (sync_req_ < end_offset) sync_req_ = end_offset;
+    if (batch_target < req_batch_target_) req_batch_target_ = batch_target;
+    if (max_wait_us < req_max_wait_us_) req_max_wait_us_ = max_wait_us;
+    posted = true;
+    cv_.notify_all();  // wake the syncer
     cv_.wait(l);
   }
-  // Leader. Dwell for stragglers: each append signals the cv, and the
-  // deadline bounds the added latency. Callers pass max_wait_us == 0
-  // when no sibling commit is in flight (nothing to wait for) or in
-  // kAlways mode.
-  sync_in_progress_ = true;
-  if (batch_target > 1 && max_wait_us > 0) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(max_wait_us);
-    while (records_ - synced_records_ < batch_target &&
-           cv_.wait_until(l, deadline) != std::cv_status::timeout) {
+}
+
+void WalWriter::SyncerLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!stop_syncer_) {
+    if (failed_.load(std::memory_order_relaxed) || fd_ < 0 ||
+        sync_req_ <= durable_.load(std::memory_order_relaxed)) {
+      cv_.wait(l);
+      continue;
     }
-  }
-  const uint64_t target = appended_.load(std::memory_order_relaxed);
-  const uint64_t target_records = records_;
-  const int fd = fd_;
-  l.unlock();
-  int r = 0;
-  if (util::FailpointFires("wal_fsync")) {
-    r = -1;
-    errno = EIO;
-  } else if (fd < 0) {
-    r = -1;
-    errno = EBADF;
-  } else {
-    r = FsyncRetryEintr(fd);
-  }
-  const int err = errno;
-  // Durable-but-unacknowledged crash window: data is on disk, no caller
-  // has been told yet.
-  if (r == 0) (void)util::FailpointFires("wal_after_fsync");
-  l.lock();
-  sync_in_progress_ = false;
-  // Parked sessions are woken on success AND failure — a wake is only
-  // permission to retry the commit; the retry re-runs the full barrier.
-  std::vector<util::WaitTokenPtr> wake;
-  wake.swap(sync_waiters_);
-  if (r != 0) {
+    // Pick up a round; posts that land after this shape the next one.
+    const uint32_t batch_target =
+        req_batch_target_ == UINT32_MAX ? 1 : req_batch_target_;
+    const uint32_t max_wait_us =
+        req_max_wait_us_ == UINT32_MAX ? 0 : req_max_wait_us_;
+    req_batch_target_ = UINT32_MAX;
+    req_max_wait_us_ = UINT32_MAX;
+    // Dwell for stragglers: each append signals the cv, and the
+    // deadline bounds the added latency. Requesters pass max_wait_us ==
+    // 0 when no sibling commit is in flight (nothing to wait for) or in
+    // kAlways mode.
+    if (batch_target > 1 && max_wait_us > 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(max_wait_us);
+      while (!stop_syncer_ && records_ - synced_records_ < batch_target &&
+             cv_.wait_until(l, deadline) != std::cv_status::timeout) {
+      }
+    }
+    const uint64_t target = appended_.load(std::memory_order_relaxed);
+    const uint64_t target_records = records_;
+    const int fd = fd_;
+    sync_in_progress_ = true;
     l.unlock();
-    cv_.notify_all();  // let a follower take over / observe the failure
+    // Chaos site: each fire stalls the syncer 1ms with the gate closed —
+    // committers park behind RegisterSyncWaiter and their commit-gate
+    // deadline, not a worker thread, bounds the damage.
+    while (util::FailpointFires("wal_fsync_stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    int r = 0;
+    if (util::FailpointFires("wal_fsync")) {
+      r = -1;
+      errno = EIO;
+    } else if (fd < 0) {
+      r = -1;
+      errno = EBADF;
+    } else {
+      r = FsyncRetryEintr(fd);
+    }
+    const int err = errno;
+    // Durable-but-unacknowledged crash window: data is on disk, no
+    // caller has been told yet.
+    if (r == 0) (void)util::FailpointFires("wal_after_fsync");
+    l.lock();
+    sync_in_progress_ = false;
+    // Parked sessions are woken on success AND failure — a wake is only
+    // permission to retry the commit; the retry re-runs the full
+    // barrier.
+    std::vector<util::WaitTokenPtr> wake;
+    wake.swap(sync_waiters_);
+    if (r != 0) {
+      err_gen_++;
+      err_upto_ = target;
+      err_status_ = IoError("wal fsync", err);
+      // Waiters covered by the attempt take the error and drop their
+      // request; anything appended since stays posted for a retry.
+      if (sync_req_ <= target) {
+        sync_req_ = durable_.load(std::memory_order_relaxed);
+      }
+    } else {
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+      if (target > durable_.load(std::memory_order_relaxed)) {
+        durable_.store(target, std::memory_order_release);
+      }
+      if (target_records > synced_records_) synced_records_ = target_records;
+    }
+    l.unlock();
+    cv_.notify_all();
     for (auto& t : wake) t->Signal();
-    return IoError("wal fsync", err);
+    l.lock();
   }
-  fsyncs_.fetch_add(1, std::memory_order_relaxed);
-  if (target > durable_.load(std::memory_order_relaxed)) {
-    durable_.store(target, std::memory_order_release);
-  }
-  if (target_records > synced_records_) synced_records_ = target_records;
-  l.unlock();
-  cv_.notify_all();
-  for (auto& t : wake) t->Signal();
-  // Our end_offset was appended before we became leader, so the
-  // snapshot covered it: end_offset <= target <= durable_.
-  return Status::OK();
+  syncer_running_ = false;
+  cv_.notify_all();  // stray waiters observe "wal closed"
 }
 
 bool WalWriter::RegisterSyncWaiter(const util::WaitTokenPtr& token) {

@@ -1,12 +1,24 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "util/clock.h"
 
 namespace pgssi::workload {
+
+namespace {
+
+bool Retryable(const Status& st, const RetryPolicy& retry) {
+  if (st.IsSerializationFailure()) return true;
+  if (!retry.retry_io_errors) return false;
+  return st.code() == Code::kIOError || st.code() == Code::kOverloaded;
+}
+
+}  // namespace
 
 DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
                               int threads, double seconds) {
@@ -21,6 +33,14 @@ DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
 DriverResult RunFixedDurationClassed(
     const std::function<Status(int, Random&, int*)>& fn,
     const std::vector<std::string>& class_names, int threads, double seconds) {
+  return RunFixedDurationClassed(fn, class_names, threads, seconds,
+                                 RetryPolicy{});
+}
+
+DriverResult RunFixedDurationClassed(
+    const std::function<Status(int, Random&, int*)>& fn,
+    const std::vector<std::string>& class_names, int threads, double seconds,
+    const RetryPolicy& retry) {
   const size_t ncls = class_names.size();
   const uint64_t start = NowMicros();
   const uint64_t deadline = start + static_cast<uint64_t>(seconds * 1e6);
@@ -35,6 +55,8 @@ DriverResult RunFixedDurationClassed(
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> failures{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> overloads{0};
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
@@ -48,12 +70,40 @@ DriverResult RunFixedDurationClassed(
         const uint64_t t0 = NowMicros();
         int cls = -1;
         Status st = fn(i, rng, &cls);
+        // Retry loop: re-run failed-but-retryable attempts with capped
+        // exponential backoff + jitter. With the default policy
+        // (max_attempts = 1) this never fires.
+        uint64_t backoff_us = retry.base_backoff_us;
+        for (uint32_t attempt = 1;
+             !st.ok() && attempt < retry.max_attempts &&
+             Retryable(st, retry) && NowMicros() < deadline;
+             attempt++) {
+          if (st.code() == Code::kOverloaded) {
+            overloads.fetch_add(1, std::memory_order_relaxed);
+            if (cls >= 0 && static_cast<size_t>(cls) < ncls) {
+              ts.classes[static_cast<size_t>(cls)].overload_refusals++;
+            }
+          }
+          retries.fetch_add(1, std::memory_order_relaxed);
+          if (cls >= 0 && static_cast<size_t>(cls) < ncls) {
+            ts.classes[static_cast<size_t>(cls)].retries++;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              backoff_us + rng.Uniform(backoff_us)));
+          backoff_us = std::min(backoff_us * 2, retry.max_backoff_us);
+          cls = -1;
+          st = fn(i, rng, &cls);
+        }
         const double lat = static_cast<double>(NowMicros() - t0);
         ts.latency.Add(lat);
         ClassResult* cr = (cls >= 0 && static_cast<size_t>(cls) < ncls)
                               ? &ts.classes[static_cast<size_t>(cls)]
                               : nullptr;
         if (cr) cr->latency_us.Add(lat);
+        if (!st.ok() && st.code() == Code::kOverloaded) {
+          overloads.fetch_add(1, std::memory_order_relaxed);
+          if (cr) cr->overload_refusals++;
+        }
         if (st.ok()) {
           committed.fetch_add(1, std::memory_order_relaxed);
           if (cr) cr->committed++;
@@ -73,6 +123,8 @@ DriverResult RunFixedDurationClassed(
   r.committed = committed.load();
   r.serialization_failures = failures.load();
   r.other_errors = errors.load();
+  r.retries = retries.load();
+  r.overload_refusals = overloads.load();
   r.seconds = static_cast<double>(NowMicros() - start) / 1e6;
   r.classes.resize(ncls);
   for (size_t c = 0; c < ncls; c++) r.classes[c].name = class_names[c];
@@ -83,6 +135,8 @@ DriverResult RunFixedDurationClassed(
       r.classes[c].serialization_failures +=
           ts.classes[c].serialization_failures;
       r.classes[c].other_errors += ts.classes[c].other_errors;
+      r.classes[c].retries += ts.classes[c].retries;
+      r.classes[c].overload_refusals += ts.classes[c].overload_refusals;
       r.classes[c].latency_us.Merge(ts.classes[c].latency_us);
     }
   }

@@ -21,6 +21,13 @@ struct ClassResult {
   uint64_t committed = 0;
   uint64_t serialization_failures = 0;
   uint64_t other_errors = 0;
+  // Failed attempts that the driver's RetryPolicy re-ran (each retried
+  // attempt counts once; the transaction's final outcome lands in the
+  // counters above exactly once).
+  uint64_t retries = 0;
+  // Attempts refused with kOverloaded (admission control), whether or
+  // not they were subsequently retried.
+  uint64_t overload_refusals = 0;
   Histogram latency_us;
 
   double FailureRate() const {
@@ -36,9 +43,13 @@ struct DriverResult {
   uint64_t committed = 0;
   uint64_t serialization_failures = 0;
   uint64_t other_errors = 0;
+  uint64_t retries = 0;
+  uint64_t overload_refusals = 0;
   double seconds = 0;
-  // Per-attempt latency in microseconds (committed and failed attempts
-  // alike), folded from per-thread histograms after the run.
+  // Per-transaction latency in microseconds (committed and failed
+  // transactions alike; with a RetryPolicy this spans every attempt
+  // plus backoff — the client-observed latency), folded from per-thread
+  // histograms after the run.
   Histogram latency_us;
   // Filled only by RunFixedDurationClassed, in class-index order.
   std::vector<ClassResult> classes;
@@ -55,6 +66,23 @@ struct DriverResult {
   }
 };
 
+/// How a driver thread reacts to a failed transaction attempt: re-run
+/// the whole closure with capped exponential backoff + jitter.
+/// Serialization failures (and deadlocks/timeouts, which surface as
+/// serialization failures) are always retryable once max_attempts > 1;
+/// kOverloaded and kIOError are retried only with retry_io_errors set
+/// (over the wire an IOError can be an ambiguous ack — the workload
+/// must tolerate "committed but reported dead connection" replays).
+/// The default (max_attempts = 1) disables retrying: every failure is
+/// reported straight to the result counters, matching the historical
+/// behavior of all existing benches.
+struct RetryPolicy {
+  uint32_t max_attempts = 1;
+  uint64_t base_backoff_us = 200;
+  uint64_t max_backoff_us = 20'000;
+  bool retry_io_errors = false;
+};
+
 /// Runs `fn(thread_index, rng)` in a loop on `threads` threads for
 /// `seconds` of wall clock. fn returns OK for a committed transaction,
 /// kSerializationFailure for an aborted-and-retryable one.
@@ -68,5 +96,16 @@ DriverResult RunFixedDuration(const std::function<Status(int, Random&)>& fn,
 DriverResult RunFixedDurationClassed(
     const std::function<Status(int, Random&, int*)>& fn,
     const std::vector<std::string>& class_names, int threads, double seconds);
+
+/// Retrying variant: failed attempts matching `retry` are re-run after
+/// backoff until they succeed, stop being retryable, exhaust
+/// max_attempts, or the run deadline passes. Only the FINAL attempt's
+/// outcome lands in committed/serialization_failures/other_errors;
+/// earlier attempts count in `retries` (attributed to the class each
+/// failed attempt reported).
+DriverResult RunFixedDurationClassed(
+    const std::function<Status(int, Random&, int*)>& fn,
+    const std::vector<std::string>& class_names, int threads, double seconds,
+    const RetryPolicy& retry);
 
 }  // namespace pgssi::workload
